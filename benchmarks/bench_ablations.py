@@ -1,0 +1,26 @@
+"""Benchmark: ablations of PILOTE's design choices (beyond the paper's figures).
+
+Sweeps the balancing weight α (α = 0 degenerates to the Re-trained baseline),
+the contrastive margin and the contrastive-loss variant, and prints one result
+table per ablated hyper-parameter.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, settings, report):
+    result = benchmark.pedantic(
+        lambda: ablations.run(
+            settings, alphas=(0.0, 0.25, 0.5, 0.75), margins=(0.5, 1.0, 2.0),
+            variants=("squared", "hadsell"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("ablations", result.to_text())
+
+    alpha_table = result.tables["alpha"]
+    by_alpha = {row["alpha"]: row for row in alpha_table.rows}
+    # Shape check: adding the distillation term (α > 0) preserves old-class
+    # accuracy at least as well as α = 0 (the Re-trained baseline).
+    assert by_alpha["0.5"]["old_accuracy"].mean >= by_alpha["0"]["old_accuracy"].mean - 0.03

@@ -1,0 +1,30 @@
+"""Benchmark: the Q2 edge-applicability numbers.
+
+The paper argues that < 200 exemplars per class fit in < 256 KB, that the
+incremental update converges within ~20 epochs and that each epoch takes a
+fraction of a second.  This benchmark measures the analogous quantities for
+the reproduction (per-epoch latency of the incremental update, support-set
+bytes, inference latency) and times a single full incremental update as the
+pytest-benchmark payload.
+"""
+
+from repro.experiments import edge_resources
+
+
+def test_edge_resources_q2(benchmark, settings, report):
+    result = benchmark.pedantic(
+        lambda: edge_resources.run(settings), rounds=1, iterations=1
+    )
+    report("edge_resources", result.to_text())
+
+    # Storage shape: the byte count grows linearly with the exemplar budget and
+    # the paper's reference point (200/class over the old classes) stays small.
+    rows = {int(r["exemplars_per_class"]): r["bytes"] for r in result.storage_rows}
+    assert rows[200] == 4 * rows[50]
+    assert rows[200] <= 512 * 1024  # a few hundred KB at most
+
+    # Latency shape: the update converges within the configured epoch budget
+    # and each epoch is sub-second at benchmark scale on this machine.
+    assert result.latency.epochs_run <= settings.config.max_epochs_increment
+    assert result.latency.mean_epoch_seconds < 5.0
+    assert result.accuracy_after_increment > 0.5

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 4 (confusion matrices, new class 'Run').
+
+The paper's claim: the re-trained model predicts a large block of 'Walk'
+samples as 'Run' (it forgot Walk), while PILOTE keeps the two apart.  The
+benchmark prints both confusion matrices and the Walk→Run misclassification
+rates.
+"""
+
+from repro.experiments import figure4
+
+
+def test_figure4_reproduction(benchmark, settings, report):
+    result = benchmark.pedantic(lambda: figure4.run(settings), rounds=1, iterations=1)
+    report("figure4", result.to_text())
+    # Shape check: PILOTE should not confuse Walk with Run more than the
+    # re-trained model does (small tolerance for run-to-run noise).
+    assert (
+        result.walk_to_run_rate["pilote"]
+        <= result.walk_to_run_rate["re-trained"] + 0.05
+    )
+    for matrix in result.matrices.values():
+        assert matrix.accuracy() > 0.2

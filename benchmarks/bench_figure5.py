@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 5 (embedding-space visualisation).
+
+Without matplotlib the figure's claim is made quantitative: class-separation
+metrics (silhouette, intra/inter distance ratio) per method, plus an ASCII
+scatter of the 2-D PCA projection.  Expected shape: PILOTE's embedding space
+separates the five activities at least as well as the re-trained model's, and
+both beat the pre-trained model (which has never seen 'Run').
+"""
+
+from repro.experiments import figure5
+
+
+def test_figure5_reproduction(benchmark, settings, report):
+    result = benchmark.pedantic(
+        lambda: figure5.run(settings, max_points_per_class=120), rounds=1, iterations=1
+    )
+    report("figure5", result.to_text(include_scatter=True))
+    pilote = result.separation["pilote"]["silhouette"]
+    pretrained = result.separation["pre-trained"]["silhouette"]
+    # Shape check: edge training on the new class must not degrade the
+    # embedding space below the frozen pre-trained one.
+    assert pilote >= pretrained - 0.10

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 6 (accuracy vs. support-set size).
+
+Six series — {PILOTE, Re-trained, Pre-trained} × {representative, random
+exemplars} — over the number of exemplars per class.  Expected shape:
+accuracy grows and saturates with the exemplar budget, PILOTE dominates the
+re-trained model with the largest gap at small budgets, and at the smallest
+budgets the re-trained model drops towards (or below) the pre-trained one.
+"""
+
+import numpy as np
+
+from repro.experiments import figure6
+
+SWEEP = (10, 25, 50, 100, 200)
+
+
+def test_figure6_reproduction(benchmark, settings, report):
+    result = benchmark.pedantic(
+        lambda: figure6.run(settings, exemplar_counts=SWEEP), rounds=1, iterations=1
+    )
+    report("figure6", result.to_text())
+    herding = result.series["herding"]
+    pilote = [a.mean for a in herding["pilote"]]
+    retrained = [a.mean for a in herding["re-trained"]]
+    pretrained = [a.mean for a in herding["pre-trained"]]
+
+    # Shape checks.
+    # 1. PILOTE is at least competitive with the re-trained model on average.
+    assert np.mean(pilote) >= np.mean(retrained) - 0.02
+    # 2. At small support sets (< 50 exemplars/class) the re-trained model drops
+    #    to (or below) the pre-trained reference — the paper's crossover.
+    assert retrained[0] <= pretrained[0] + 0.03
+    # 3. From mid-size support sets on, PILOTE is the best of the three.
+    assert pilote[-2] >= max(retrained[-2], pretrained[-2]) - 0.02
+    # 4. Accuracy grows (saturates) with the exemplar budget for PILOTE.
+    assert pilote[-1] >= pilote[0] - 0.02

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 7 (accuracy vs. new-class exemplar count, extreme edge).
+
+With 200 old-class exemplars fixed, the amount of available new-class ('Run')
+data is swept down to a few dozen samples.  Expected shape: PILOTE reaches
+high accuracy with very few new-class samples and dominates the re-trained
+model in the low-data regime; the pre-trained model is the flat reference.
+"""
+
+import numpy as np
+
+from repro.experiments import figure7
+
+SWEEP = (10, 25, 50, 100, 150)
+
+
+def test_figure7_reproduction(benchmark, settings, report):
+    result = benchmark.pedantic(
+        lambda: figure7.run(settings, sample_counts=SWEEP), rounds=1, iterations=1
+    )
+    report("figure7", result.to_text())
+    pilote = [a.mean for a in result.series["pilote"]]
+    retrained = [a.mean for a in result.series["re-trained"]]
+    pretrained = [a.mean for a in result.series["pre-trained"]]
+
+    # Shape checks.
+    # 1. In the extreme low-data regime PILOTE does not lose to plain re-training.
+    low = slice(0, 2)
+    assert np.mean(pilote[low]) >= np.mean(retrained[low]) - 0.03
+    # 2. PILOTE with few samples stays at or above the pre-trained reference.
+    assert pilote[0] >= pretrained[0] - 0.05
+    # 3. More new-class data helps (monotone-ish trend allowing noise).
+    assert pilote[-1] >= pilote[0] - 0.03

@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the substrates PILOTE is built on.
+
+These are not paper figures; they document the cost of the building blocks
+(synthetic data generation, feature extraction, autodiff forward/backward,
+herding selection, NCM prediction) so regressions in the substrate show up in
+the benchmark history.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.core.exemplars import herding_selection
+from repro.core.ncm import NCMClassifier
+from repro.data.activities import Activity
+from repro.data.sensors import default_sensor_suite
+from repro.data.synthetic import SyntheticSensorGenerator
+from repro.features.extractor import StatisticalFeatureExtractor
+from repro.nn.layers import build_mlp
+
+
+@pytest.fixture(scope="module")
+def raw_windows():
+    generator = SyntheticSensorGenerator(seed=0)
+    return generator.generate_windows(Activity.WALK, 256)
+
+
+def test_synthetic_generation_throughput(benchmark):
+    generator = SyntheticSensorGenerator(seed=0)
+    windows = benchmark(lambda: generator.generate_windows(Activity.RUN, 128))
+    assert windows.shape[0] == 128
+
+
+def test_feature_extraction_throughput(benchmark, raw_windows):
+    suite = default_sensor_suite()
+    extractor = StatisticalFeatureExtractor(
+        suite.triaxial_groups, sampling_rate_hz=suite.sampling_rate_hz
+    )
+    features = benchmark(lambda: extractor.transform(raw_windows))
+    assert features.shape == (256, 80)
+
+
+def test_backbone_forward_backward(benchmark):
+    network = build_mlp([80, 128, 64, 32], rng=0)
+    batch = np.random.default_rng(0).normal(size=(64, 80))
+
+    def step():
+        network.zero_grad()
+        loss = (network(Tensor(batch)) ** 2).mean()
+        loss.backward()
+        return float(loss.data)
+
+    value = benchmark(step)
+    assert np.isfinite(value)
+
+
+def test_paper_scale_backbone_forward(benchmark):
+    network = build_mlp([80, 1024, 512, 128, 64, 128], rng=0)
+    network.eval()
+    batch = np.random.default_rng(0).normal(size=(64, 80))
+    out = benchmark(lambda: network(Tensor(batch)).data)
+    assert out.shape == (64, 128)
+
+
+def test_herding_selection_cost(benchmark):
+    rng = np.random.default_rng(0)
+    embeddings = rng.normal(size=(1000, 64))
+    indices = benchmark(lambda: herding_selection(embeddings, embeddings, 200))
+    assert indices.shape[0] == 200
+
+
+def test_ncm_prediction_latency(benchmark):
+    rng = np.random.default_rng(0)
+    classifier = NCMClassifier().fit({c: rng.normal(size=64) for c in range(5)})
+    queries = rng.normal(size=(512, 64))
+    predictions = benchmark(lambda: classifier.predict(queries))
+    assert predictions.shape == (512,)

@@ -1,0 +1,63 @@
+"""Support-set budget sweep (the Figure 6 experiment at example scale).
+
+How much accuracy does each strategy retain as the edge cache shrinks?  The
+example sweeps the number of exemplars per old class, compares representative
+(herding) against random exemplar selection, and reports the storage cost of
+each budget — the trade-off an edge deployment actually has to make.
+
+Run with::
+
+    python examples/edge_budget_sweep.py
+"""
+
+from repro.core.config import PiloteConfig
+from repro.data import Activity, make_feature_dataset
+from repro.data.streams import build_incremental_scenario
+from repro.edge.transfer import exemplar_storage_bytes
+from repro.evaluation.runner import ExperimentRunner
+from repro.viz.ascii import ascii_line_plot
+
+EXEMPLAR_BUDGETS = (10, 25, 50, 100, 200)
+
+
+def main() -> None:
+    dataset = make_feature_dataset(samples_per_class=250, seed=13)
+    scenario = build_incremental_scenario(dataset, [Activity.RUN], rng=13)
+    config = PiloteConfig(
+        hidden_dims=(128, 64),
+        embedding_dim=32,
+        batch_size=48,
+        max_epochs_pretrain=15,
+        max_epochs_increment=10,
+        cache_size=800,
+        seed=13,
+    )
+    runner = ExperimentRunner(config)
+    # One shared pre-trained model for the whole sweep (only the support set changes).
+    pretrained = runner.pretrain(scenario, exemplars_per_class=max(EXEMPLAR_BUDGETS), rng=13)
+
+    series = {"pilote": [], "re-trained": [], "pre-trained": []}
+    print(f"{'exemplars/class':>16}{'storage':>12}{'pre-trained':>13}{'re-trained':>12}{'pilote':>9}")
+    for budget in EXEMPLAR_BUDGETS:
+        comparison = runner.compare(
+            scenario, pretrained=pretrained, exemplars_per_class=budget,
+            exemplar_strategy="herding", rng=13,
+        )
+        storage_kb = exemplar_storage_bytes(
+            budget * len(scenario.old_classes), dataset.n_features
+        ) / 1024
+        accuracies = comparison.summary()
+        for method in series:
+            series[method].append(accuracies[method])
+        print(
+            f"{budget:>16d}{storage_kb:>10.1f}KB"
+            f"{accuracies['pre-trained']:>13.4f}{accuracies['re-trained']:>12.4f}"
+            f"{accuracies['pilote']:>9.4f}"
+        )
+
+    print()
+    print(ascii_line_plot(EXEMPLAR_BUDGETS, series, title="accuracy vs. exemplars per class"))
+
+
+if __name__ == "__main__":
+    main()

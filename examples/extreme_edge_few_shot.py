@@ -1,0 +1,60 @@
+"""Extreme edge: learning a new activity from a handful of samples (Figure 7 view).
+
+New activities recorded on an edge device arrive a few windows at a time.  The
+example fixes the old-class support set and sweeps the number of available
+new-class ('Run') samples down to a dozen, comparing PILOTE against the
+re-trained and pre-trained strategies.
+
+Run with::
+
+    python examples/extreme_edge_few_shot.py
+"""
+
+from repro.core.config import PiloteConfig
+from repro.data import Activity, make_feature_dataset
+from repro.data.streams import build_incremental_scenario
+from repro.evaluation.runner import ExperimentRunner
+from repro.viz.ascii import ascii_line_plot
+
+NEW_CLASS_SAMPLES = (10, 25, 50, 100, 150)
+
+
+def main() -> None:
+    dataset = make_feature_dataset(samples_per_class=250, seed=29)
+    scenario = build_incremental_scenario(dataset, [Activity.RUN], rng=29)
+    config = PiloteConfig(
+        hidden_dims=(128, 64),
+        embedding_dim=32,
+        batch_size=48,
+        max_epochs_pretrain=15,
+        max_epochs_increment=10,
+        cache_size=800,
+        seed=29,
+    )
+    runner = ExperimentRunner(config)
+    pretrained = runner.pretrain(scenario, exemplars_per_class=100, rng=29)
+
+    series = {"pilote": [], "re-trained": [], "pre-trained": []}
+    print(f"{'new-class samples':>18}{'pre-trained':>13}{'re-trained':>12}{'pilote':>9}")
+    for count in NEW_CLASS_SAMPLES:
+        comparison = runner.compare(
+            scenario, pretrained=pretrained, new_class_samples=count, rng=29
+        )
+        accuracies = comparison.summary()
+        for method in series:
+            series[method].append(accuracies[method])
+        print(
+            f"{count:>18d}{accuracies['pre-trained']:>13.4f}"
+            f"{accuracies['re-trained']:>12.4f}{accuracies['pilote']:>9.4f}"
+        )
+
+    print()
+    print(
+        ascii_line_plot(
+            NEW_CLASS_SAMPLES, series, title="accuracy vs. number of new-class samples"
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

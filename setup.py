@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The declarative configuration lives in ``pyproject.toml``; this shim exists so
+that editable installs work in offline environments where the ``wheel``
+package (needed for PEP 660 editable wheels) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

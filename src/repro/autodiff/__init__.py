@@ -1,0 +1,22 @@
+"""A small reverse-mode automatic differentiation engine on top of numpy.
+
+The engine provides the :class:`~repro.autodiff.tensor.Tensor` class whose
+operations build a dynamic computation graph; calling ``backward()`` on a
+scalar result propagates gradients to every tensor created with
+``requires_grad=True``.  It is the substrate on which :mod:`repro.nn` (layers,
+losses, optimisers) and ultimately the PILOTE model are built, replacing the
+PyTorch dependency of the original paper.
+"""
+
+from repro.autodiff.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autodiff import ops
+from repro.autodiff.gradcheck import check_gradients, numerical_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "check_gradients",
+    "numerical_gradient",
+]

@@ -1,0 +1,100 @@
+"""Free-function tensor operations built on :class:`~repro.autodiff.tensor.Tensor`.
+
+These cover the handful of multi-input operations (concatenation, stacking)
+and the composite numerical helpers (softmax, log-softmax, pairwise distances)
+used by the neural-network layer and loss implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.exceptions import ShapeError
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing back to each input."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    if not tensors:
+        raise ShapeError("concatenate requires at least one tensor")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if not tensor.requires_grad:
+                continue
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(int(start), int(stop))
+            tensor._accumulate(grad[tuple(slicer)])
+
+    reference = tensors[0]
+    return reference._make(data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+    if not tensors:
+        raise ShapeError("stack requires at least one tensor")
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        grad = np.asarray(grad)
+        slices = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, slices):
+            if tensor.requires_grad:
+                tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    reference = tensors[0]
+    return reference._make(data, tensors, backward)
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(softmax(x))`` along ``axis``."""
+    shifted = logits - Tensor(logits.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return shifted - exp.sum(axis=axis, keepdims=True).log()
+
+
+def l2_normalize(x: Tensor, axis: int = -1, epsilon: float = 1e-12) -> Tensor:
+    """Normalise rows (or the given axis) of ``x`` to unit Euclidean norm."""
+    squared = (x * x).sum(axis=axis, keepdims=True)
+    norm = (squared + epsilon).sqrt()
+    return x / norm
+
+
+def pairwise_squared_distance(a: Tensor, b: Tensor) -> Tensor:
+    """Row-wise squared Euclidean distance between two equally shaped matrices.
+
+    ``a`` and ``b`` must both be ``(n, d)``; the result is an ``(n,)`` tensor
+    with entry ``i`` equal to ``||a_i - b_i||^2``.
+    """
+    if a.shape != b.shape:
+        raise ShapeError(f"pairwise distance requires equal shapes, got {a.shape} and {b.shape}")
+    diff = a - b
+    return (diff * diff).sum(axis=-1)
+
+
+def euclidean_distance(a: Tensor, b: Tensor, epsilon: float = 1e-12) -> Tensor:
+    """Row-wise Euclidean distance, ``sqrt`` smoothed for differentiability at 0."""
+    return (pairwise_squared_distance(a, b) + epsilon).sqrt()
+
+
+def mean_squared_error(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements (target never receives gradient)."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()

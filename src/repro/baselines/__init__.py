@@ -1,0 +1,46 @@
+"""Baselines against which PILOTE is compared.
+
+The paper's own comparison (Section 6.1.3) uses two strategies built on the
+same pre-trained model:
+
+* :class:`PretrainedBaseline` — the frozen cloud model, extended with
+  new-class prototypes computed from the raw new samples;
+* :class:`RetrainedBaseline` — the cloud model re-trained on the edge over the
+  enriched support set, without any forgetting-mitigation term (i.e. PILOTE
+  with α = 0).
+
+For context with the related work discussed in Section 2, classifier-head
+continual-learning methods are also provided: naive fine-tuning, Learning
+without Forgetting (LwF), iCaRL, GDumb, EWC and the joint-training upper
+bound.
+"""
+
+from repro.baselines.base import (
+    ClassifierConfig,
+    IncrementalLearner,
+    SoftmaxClassifier,
+    clone_pretrained,
+)
+from repro.baselines.pretrained import PretrainedBaseline
+from repro.baselines.retrained import RetrainedBaseline
+from repro.baselines.finetune import FineTuneBaseline
+from repro.baselines.lwf import LwFBaseline
+from repro.baselines.icarl import ICaRLBaseline
+from repro.baselines.gdumb import GDumbBaseline
+from repro.baselines.ewc import EWCBaseline
+from repro.baselines.joint import JointTrainingBaseline
+
+__all__ = [
+    "IncrementalLearner",
+    "SoftmaxClassifier",
+    "ClassifierConfig",
+    "clone_pretrained",
+    "PretrainedBaseline",
+    "RetrainedBaseline",
+    "FineTuneBaseline",
+    "LwFBaseline",
+    "ICaRLBaseline",
+    "GDumbBaseline",
+    "EWCBaseline",
+    "JointTrainingBaseline",
+]

@@ -1,0 +1,124 @@
+"""Elastic Weight Consolidation (Kirkpatrick et al., 2017).
+
+A regularisation-based method: after the base phase, the diagonal of the
+Fisher information matrix is estimated on the old data; during the incremental
+phase, parameters are anchored to their old values with a quadratic penalty
+weighted by their Fisher importance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.baselines.base import (
+    ClassifierConfig,
+    ClassifierIncrementalLearner,
+    train_softmax_classifier,
+)
+from repro.data.dataset import HARDataset
+from repro.exceptions import NotFittedError
+from repro.nn.losses import CrossEntropyLoss
+from repro.utils.rng import RandomState
+
+
+class EWCBaseline(ClassifierIncrementalLearner):
+    """Cross-entropy on new data + Fisher-weighted quadratic parameter anchoring."""
+
+    name = "ewc"
+
+    def __init__(
+        self,
+        config: Optional[ClassifierConfig] = None,
+        *,
+        ewc_lambda: float = 100.0,
+        fisher_samples: int = 256,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(config, seed=seed)
+        if ewc_lambda < 0:
+            raise ValueError(f"ewc_lambda must be non-negative, got {ewc_lambda}")
+        if fisher_samples <= 0:
+            raise ValueError(f"fisher_samples must be positive, got {fisher_samples}")
+        self.ewc_lambda = float(ewc_lambda)
+        self.fisher_samples = int(fisher_samples)
+        self._fisher: Dict[str, np.ndarray] = {}
+        self._anchor: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    def fit_base(
+        self, train: HARDataset, validation: Optional[HARDataset] = None
+    ) -> "EWCBaseline":
+        super().fit_base(train, validation)
+        self._estimate_fisher(train)
+        return self
+
+    def learn_increment(
+        self, new_train: HARDataset, new_validation: Optional[HARDataset] = None
+    ) -> "EWCBaseline":
+        if self.model is None:
+            raise NotFittedError("fit_base() must run before learn_increment()")
+        if not self._fisher:
+            raise NotFittedError("the Fisher information has not been estimated")
+        self._register_new_classes(new_train.classes)
+        fisher = self._fisher
+        anchor = self._anchor
+        strength = self.ewc_lambda
+
+        def extra_loss(model, batch_features: np.ndarray, batch_labels: np.ndarray) -> Tensor:
+            penalty: Optional[Tensor] = None
+            for name, parameter in model.named_parameters():
+                if name not in fisher:
+                    continue  # Newly added head columns have no anchor.
+                if fisher[name].shape != parameter.data.shape:
+                    continue  # The expanded head is not anchored.
+                delta = parameter - Tensor(anchor[name])
+                term = (Tensor(fisher[name]) * delta * delta).sum()
+                penalty = term if penalty is None else penalty + term
+            if penalty is None:
+                return Tensor(0.0)
+            return penalty * (strength / 2.0)
+
+        validation_arrays = None
+        if new_validation is not None and new_validation.n_samples > 1:
+            validation_arrays = (
+                new_validation.features,
+                self._to_indices(new_validation.labels),
+            )
+        train_softmax_classifier(
+            self.model,
+            new_train.features,
+            self._to_indices(new_train.labels),
+            config=self.config,
+            validation=validation_arrays,
+            extra_loss=extra_loss,
+            rng=self._rng,
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _estimate_fisher(self, dataset: HARDataset) -> None:
+        """Diagonal Fisher estimate from per-sample log-likelihood gradients."""
+        model = self.model
+        criterion = CrossEntropyLoss(reduction="sum")
+        take = min(self.fisher_samples, dataset.n_samples)
+        indices = self._rng.choice(dataset.n_samples, size=take, replace=False)
+        accumulators = {
+            name: np.zeros_like(parameter.data) for name, parameter in model.named_parameters()
+        }
+        model.eval()
+        for index in indices:
+            features = dataset.features[index:index + 1]
+            labels = self._to_indices(dataset.labels[index:index + 1])
+            model.zero_grad()
+            loss = criterion(model(Tensor(features)), labels)
+            loss.backward()
+            for name, parameter in model.named_parameters():
+                if parameter.grad is not None:
+                    accumulators[name] += parameter.grad**2
+        self._fisher = {name: value / take for name, value in accumulators.items()}
+        self._anchor = {
+            name: parameter.data.copy() for name, parameter in model.named_parameters()
+        }

@@ -1,0 +1,39 @@
+"""Naive fine-tuning baseline.
+
+The classifier head is expanded for the new classes and the whole network is
+fine-tuned on the new-class data only — the textbook recipe for catastrophic
+forgetting, included as a lower bound for the related-work comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import ClassifierIncrementalLearner, train_softmax_classifier
+from repro.data.dataset import HARDataset
+
+
+class FineTuneBaseline(ClassifierIncrementalLearner):
+    """Cross-entropy fine-tuning on new-class data only (no memory, no penalty)."""
+
+    name = "fine-tune"
+
+    def learn_increment(
+        self, new_train: HARDataset, new_validation: Optional[HARDataset] = None
+    ) -> "FineTuneBaseline":
+        self._register_new_classes(new_train.classes)
+        validation_arrays = None
+        if new_validation is not None and new_validation.n_samples > 1:
+            validation_arrays = (
+                new_validation.features,
+                self._to_indices(new_validation.labels),
+            )
+        train_softmax_classifier(
+            self.model,
+            new_train.features,
+            self._to_indices(new_train.labels),
+            config=self.config,
+            validation=validation_arrays,
+            rng=self._rng,
+        )
+        return self

@@ -1,0 +1,106 @@
+"""GDumb (Prabhu et al., 2020).
+
+GDumb greedily maintains a class-balanced memory and, at evaluation time,
+simply retrains the model from scratch on the memory alone.  Despite its
+simplicity it is a strong sanity-check baseline for continual learning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.base import (
+    ClassifierConfig,
+    ClassifierIncrementalLearner,
+    SoftmaxClassifier,
+    train_softmax_classifier,
+)
+from repro.data.dataset import HARDataset
+from repro.exceptions import NotFittedError
+from repro.utils.rng import RandomState, resolve_rng
+
+
+class GDumbBaseline(ClassifierIncrementalLearner):
+    """Greedy class-balanced memory + retraining from scratch on the memory."""
+
+    name = "gdumb"
+
+    def __init__(
+        self,
+        config: Optional[ClassifierConfig] = None,
+        *,
+        memory_size: int = 800,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(config, seed=seed)
+        if memory_size <= 0:
+            raise ValueError(f"memory_size must be positive, got {memory_size}")
+        self.memory_size = int(memory_size)
+        self._memory: Dict[int, np.ndarray] = {}
+        self._input_dim: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    def fit_base(
+        self, train: HARDataset, validation: Optional[HARDataset] = None
+    ) -> "GDumbBaseline":
+        self._input_dim = train.n_features
+        self._class_order = [int(c) for c in train.classes]
+        self._update_memory(train)
+        self._retrain_from_memory()
+        return self
+
+    def learn_increment(
+        self, new_train: HARDataset, new_validation: Optional[HARDataset] = None
+    ) -> "GDumbBaseline":
+        if self._input_dim is None:
+            raise NotFittedError("fit_base() must run before learn_increment()")
+        for class_id in new_train.classes:
+            if int(class_id) not in self._class_order:
+                self._class_order.append(int(class_id))
+        self._update_memory(new_train)
+        self._retrain_from_memory()
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _per_class_budget(self) -> int:
+        return max(self.memory_size // max(len(self._class_order), 1), 1)
+
+    def _update_memory(self, dataset: HARDataset) -> None:
+        """Greedy balanced sampling: fill each class up to the per-class budget."""
+        budget = self._per_class_budget()
+        generator = resolve_rng(self._rng)
+        for class_id in dataset.classes:
+            rows = dataset.class_subset(int(class_id))
+            existing = self._memory.get(int(class_id))
+            if existing is not None:
+                rows = np.concatenate([existing, rows], axis=0)
+            if rows.shape[0] > budget:
+                chosen = generator.choice(rows.shape[0], size=budget, replace=False)
+                rows = rows[chosen]
+            self._memory[int(class_id)] = rows
+        # Re-trim previously stored classes so the total stays within budget.
+        for class_id, rows in list(self._memory.items()):
+            if rows.shape[0] > budget:
+                self._memory[class_id] = rows[:budget]
+
+    def _retrain_from_memory(self) -> None:
+        features = np.concatenate(list(self._memory.values()), axis=0)
+        labels = np.concatenate(
+            [np.full(rows.shape[0], class_id, dtype=np.int64) for class_id, rows in self._memory.items()]
+        )
+        self.model = SoftmaxClassifier(
+            self._input_dim, len(self._class_order), config=self.config, rng=self._rng
+        )
+        train_softmax_classifier(
+            self.model,
+            features,
+            self._to_indices(labels),
+            config=self.config,
+            rng=self._rng,
+        )
+
+    def memory_counts(self) -> Dict[int, int]:
+        """Number of stored samples per class (for tests and diagnostics)."""
+        return {class_id: rows.shape[0] for class_id, rows in self._memory.items()}

@@ -1,0 +1,133 @@
+"""iCaRL (Rebuffi et al., 2017): incremental classifier and representation learning.
+
+Reproduced ingredients: herding-selected exemplar memory, representation
+update with classification + distillation losses on (new data ∪ exemplars),
+and nearest-mean-of-exemplars classification on the backbone representation.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.baselines.base import (
+    ClassifierConfig,
+    ClassifierIncrementalLearner,
+    train_softmax_classifier,
+)
+from repro.core.exemplars import ExemplarStore
+from repro.core.ncm import NCMClassifier
+from repro.core.prototypes import PrototypeStore
+from repro.data.dataset import HARDataset
+from repro.exceptions import NotFittedError
+from repro.nn.losses import LogitDistillationLoss
+from repro.utils.rng import RandomState
+
+
+class ICaRLBaseline(ClassifierIncrementalLearner):
+    """Exemplar memory + distillation + nearest-mean-of-exemplars prediction."""
+
+    name = "icarl"
+
+    def __init__(
+        self,
+        config: Optional[ClassifierConfig] = None,
+        *,
+        memory_size: int = 800,
+        distillation_weight: float = 1.0,
+        temperature: float = 2.0,
+        seed: RandomState = None,
+    ) -> None:
+        super().__init__(config, seed=seed)
+        if memory_size <= 0:
+            raise ValueError(f"memory_size must be positive, got {memory_size}")
+        self.memory_size = int(memory_size)
+        self.distillation_weight = float(distillation_weight)
+        self.temperature = float(temperature)
+        self.memory = ExemplarStore(capacity=self.memory_size, strategy="herding", rng=self._rng)
+        self._prototypes = PrototypeStore()
+        self._ncm = NCMClassifier()
+
+    # ------------------------------------------------------------------ #
+    def fit_base(
+        self, train: HARDataset, validation: Optional[HARDataset] = None
+    ) -> "ICaRLBaseline":
+        super().fit_base(train, validation)
+        self._rebuild_memory(train)
+        self._refresh_prototypes()
+        return self
+
+    def learn_increment(
+        self, new_train: HARDataset, new_validation: Optional[HARDataset] = None
+    ) -> "ICaRLBaseline":
+        if self.model is None:
+            raise NotFittedError("fit_base() must run before learn_increment()")
+        old_model = copy.deepcopy(self.model)
+        old_model.eval()
+        n_old_outputs = old_model.n_classes
+        self._register_new_classes(new_train.classes)
+
+        memory_features, memory_labels = self.memory.as_dataset()
+        combined_features = np.concatenate([memory_features, new_train.features], axis=0)
+        combined_labels = np.concatenate([memory_labels, new_train.labels], axis=0)
+        distillation = LogitDistillationLoss(temperature=self.temperature)
+
+        def extra_loss(model, batch_features: np.ndarray, batch_labels: np.ndarray) -> Tensor:
+            with no_grad():
+                old_logits = old_model(Tensor(batch_features)).data
+            new_logits = model(Tensor(batch_features))
+            return distillation(
+                new_logits[:, :n_old_outputs], Tensor(old_logits)
+            ) * self.distillation_weight
+
+        validation_arrays = None
+        if new_validation is not None and new_validation.n_samples > 1:
+            validation_arrays = (
+                new_validation.features,
+                self._to_indices(new_validation.labels),
+            )
+        train_softmax_classifier(
+            self.model,
+            combined_features,
+            self._to_indices(combined_labels),
+            config=self.config,
+            validation=validation_arrays,
+            extra_loss=extra_loss,
+            rng=self._rng,
+        )
+        # Update the memory: trim old classes, add herded exemplars of new ones.
+        per_class = max(self.memory_size // len(self._class_order), 1)
+        self.memory.rebalance(per_class)
+        for class_id in new_train.classes:
+            rows = new_train.class_subset(int(class_id))
+            embeddings = self.model.embed(rows)
+            self.memory.select(int(class_id), rows, embeddings, n_exemplars=per_class)
+        self._refresh_prototypes()
+        return self
+
+    # ------------------------------------------------------------------ #
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Nearest-mean-of-exemplars prediction (iCaRL's classification rule)."""
+        if self.model is None:
+            raise NotFittedError("fit_base() must run before predict()")
+        embeddings = self.model.embed(features)
+        return self._ncm.predict(embeddings)
+
+    # ------------------------------------------------------------------ #
+    def _rebuild_memory(self, dataset: HARDataset) -> None:
+        per_class = max(self.memory_size // max(len(dataset.classes), 1), 1)
+        for class_id in dataset.classes:
+            rows = dataset.class_subset(int(class_id))
+            embeddings = self.model.embed(rows)
+            self.memory.select(int(class_id), rows, embeddings, n_exemplars=per_class)
+
+    def _refresh_prototypes(self) -> None:
+        self._prototypes = PrototypeStore()
+        for class_id in self.memory.classes:
+            rows = self.memory.get(class_id)
+            embeddings = self.model.embed(rows)
+            self._prototypes.set(class_id, embeddings.mean(axis=0))
+        self._ncm = NCMClassifier().fit(self._prototypes)

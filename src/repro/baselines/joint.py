@@ -1,0 +1,59 @@
+"""Joint-training upper bound.
+
+Training a fresh model on all data seen so far (old and new classes together)
+is the standard continual-learning upper bound: it ignores the edge storage
+constraint entirely, but bounds the accuracy achievable by any incremental
+method.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import (
+    ClassifierConfig,
+    ClassifierIncrementalLearner,
+    SoftmaxClassifier,
+    train_softmax_classifier,
+)
+from repro.data.dataset import HARDataset
+from repro.exceptions import NotFittedError
+from repro.utils.rng import RandomState
+
+
+class JointTrainingBaseline(ClassifierIncrementalLearner):
+    """Retrains from scratch on the union of all data seen so far."""
+
+    name = "joint"
+
+    def __init__(self, config: Optional[ClassifierConfig] = None, seed: RandomState = None) -> None:
+        super().__init__(config, seed=seed)
+        self._seen: Optional[HARDataset] = None
+
+    def fit_base(
+        self, train: HARDataset, validation: Optional[HARDataset] = None
+    ) -> "JointTrainingBaseline":
+        self._seen = train
+        super().fit_base(train, validation)
+        return self
+
+    def learn_increment(
+        self, new_train: HARDataset, new_validation: Optional[HARDataset] = None
+    ) -> "JointTrainingBaseline":
+        if self._seen is None:
+            raise NotFittedError("fit_base() must run before learn_increment()")
+        self._seen = self._seen.merge(new_train)
+        self._class_order = [int(c) for c in self._seen.classes]
+        self.model = SoftmaxClassifier(
+            self._seen.n_features, len(self._class_order), config=self.config, rng=self._rng
+        )
+        train_softmax_classifier(
+            self.model,
+            self._seen.features,
+            self._to_indices(self._seen.labels),
+            config=self.config,
+            rng=self._rng,
+        )
+        return self

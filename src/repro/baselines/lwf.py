@@ -1,0 +1,66 @@
+"""Learning without Forgetting (Li & Hoiem, 2017).
+
+A regularisation-based method: when learning the new classes, the old model's
+(temperature-softened) predictions on the incoming data act as soft targets
+for the old-class outputs, so no old data needs to be stored.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.baselines.base import ClassifierIncrementalLearner, train_softmax_classifier
+from repro.data.dataset import HARDataset
+from repro.nn.losses import LogitDistillationLoss
+
+
+class LwFBaseline(ClassifierIncrementalLearner):
+    """Cross-entropy on new data + logit distillation toward the previous model."""
+
+    name = "lwf"
+
+    def __init__(self, *args, distillation_weight: float = 1.0, temperature: float = 2.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if distillation_weight < 0:
+            raise ValueError(f"distillation_weight must be non-negative, got {distillation_weight}")
+        self.distillation_weight = float(distillation_weight)
+        self.temperature = float(temperature)
+
+    def learn_increment(
+        self, new_train: HARDataset, new_validation: Optional[HARDataset] = None
+    ) -> "LwFBaseline":
+        old_model = copy.deepcopy(self.model)
+        old_model.eval()
+        n_old_outputs = old_model.n_classes
+        self._register_new_classes(new_train.classes)
+        distillation = LogitDistillationLoss(temperature=self.temperature)
+
+        def extra_loss(model, batch_features: np.ndarray, batch_labels: np.ndarray) -> Tensor:
+            with no_grad():
+                old_logits = old_model(Tensor(batch_features)).data
+            new_logits = model(Tensor(batch_features))
+            # Only the outputs corresponding to previously known classes are distilled.
+            return distillation(
+                new_logits[:, :n_old_outputs], Tensor(old_logits)
+            ) * self.distillation_weight
+
+        validation_arrays = None
+        if new_validation is not None and new_validation.n_samples > 1:
+            validation_arrays = (
+                new_validation.features,
+                self._to_indices(new_validation.labels),
+            )
+        train_softmax_classifier(
+            self.model,
+            new_train.features,
+            self._to_indices(new_train.labels),
+            config=self.config,
+            validation=validation_arrays,
+            extra_loss=extra_loss,
+            rng=self._rng,
+        )
+        return self

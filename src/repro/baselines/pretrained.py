@@ -1,0 +1,94 @@
+"""The paper's *Pre-trained* baseline.
+
+"The model is pre-trained on the cloud on four activities.  It is transferred
+to the edge with a support set.  The model generates class prototypes for
+new-class samples and enriches the support set with random new-class data."
+(Section 6.1.3.)  In other words: the embedding network is never updated on
+the edge; only a prototype for the new class is added to the NCM classifier.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.base import IncrementalLearner, clone_pretrained
+from repro.core.config import PiloteConfig
+from repro.core.pilote import PILOTE
+from repro.data.dataset import HARDataset
+from repro.exceptions import NotFittedError
+from repro.utils.rng import RandomState
+
+
+class PretrainedBaseline(IncrementalLearner):
+    """Frozen pre-trained embedding + new-class prototypes (no edge training).
+
+    Parameters
+    ----------
+    config:
+        PILOTE configuration used if :meth:`fit_base` performs the
+        pre-training itself.
+    pretrained:
+        An already pre-trained :class:`PILOTE` learner to start from (deep
+        copied); this is how the experiment harness shares one pre-trained
+        model between all compared methods.
+    """
+
+    name = "pre-trained"
+
+    def __init__(
+        self,
+        config: Optional[PiloteConfig] = None,
+        *,
+        pretrained: Optional[PILOTE] = None,
+        seed: RandomState = None,
+    ) -> None:
+        if pretrained is not None:
+            self._learner = clone_pretrained(pretrained)
+        else:
+            self._learner = PILOTE(config, seed=seed)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def learner(self) -> PILOTE:
+        """The wrapped PILOTE learner (exposed for inspection in experiments)."""
+        return self._learner
+
+    @property
+    def known_classes(self) -> List[int]:
+        return self._learner.classes_
+
+    def fit_base(
+        self, train: HARDataset, validation: Optional[HARDataset] = None
+    ) -> "PretrainedBaseline":
+        if not self._learner.is_pretrained:
+            self._learner.pretrain(train, validation)
+        return self
+
+    def learn_increment(
+        self, new_train: HARDataset, new_validation: Optional[HARDataset] = None
+    ) -> "PretrainedBaseline":
+        """Add new-class prototypes without touching the embedding network."""
+        learner = self._learner
+        if not learner.is_pretrained:
+            raise NotFittedError("fit_base() must run before learn_increment()")
+        counts = learner.exemplars.exemplars_per_class()
+        budget = max(counts.values()) if counts else None
+        for class_id in new_train.classes:
+            rows = new_train.class_subset(int(class_id))
+            embeddings = learner.model.embed(rows)
+            # The paper's pre-trained strategy enriches the support set with
+            # *random* new-class samples (no herding on the frozen model).
+            original_strategy = learner.exemplars.strategy
+            learner.exemplars.strategy = "random"
+            try:
+                learner.exemplars.select(int(class_id), rows, embeddings, n_exemplars=budget)
+            finally:
+                learner.exemplars.strategy = original_strategy
+            learner._new_classes = sorted(set(learner._new_classes) | {int(class_id)})
+        learner._refresh_prototypes()
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._learner.predict(features)

@@ -1,0 +1,84 @@
+"""Command-line interface.
+
+``pilote <experiment>`` (or ``python -m repro <experiment>``) regenerates one
+of the paper's tables/figures and prints it::
+
+    pilote table2 --scale quick
+    pilote figure6 --scale default
+    pilote edge --scale quick
+
+The ``--scale`` flag picks an :class:`~repro.experiments.common.ExperimentSettings`
+preset (``quick``, ``default`` or ``paper``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.experiments import (
+    ablations,
+    edge_resources,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    multi_increment,
+    table2,
+)
+from repro.experiments.common import ExperimentSettings
+from repro.utils.logging import enable_console_logging
+
+_EXPERIMENTS: Dict[str, Callable] = {
+    "table2": lambda settings: table2.run(settings),
+    "figure4": lambda settings: figure4.run(settings),
+    "figure5": lambda settings: figure5.run(settings),
+    "figure6": lambda settings: figure6.run(settings),
+    "figure7": lambda settings: figure7.run(settings),
+    "ablations": lambda settings: ablations.run(settings),
+    "edge": lambda settings: edge_resources.run(settings),
+    "multi-increment": lambda settings: multi_increment.run(settings),
+}
+
+_SCALES = {
+    "quick": ExperimentSettings.quick,
+    "default": ExperimentSettings.default,
+    "paper": ExperimentSettings.paper_scale,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="pilote",
+        description="Regenerate the PILOTE paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=sorted(_EXPERIMENTS), help="experiment to run")
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="quick",
+        help="experiment scale preset (default: quick)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="base random seed")
+    parser.add_argument(
+        "--verbose", action="store_true", help="enable progress logging to stderr"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.verbose:
+        enable_console_logging()
+    settings = _SCALES[arguments.scale](seed=arguments.seed)
+    result = _EXPERIMENTS[arguments.experiment](settings)
+    print(result.to_text())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

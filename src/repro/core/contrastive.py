@@ -1,0 +1,54 @@
+"""Functional interface to the supervised contrastive loss (Eq. 2).
+
+The class-based implementation lives in :class:`repro.nn.losses.ContrastiveLoss`;
+this module exposes a thin functional wrapper plus a pure-numpy evaluation used
+by diagnostics (no gradient graph).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.losses import ContrastiveLoss
+
+
+def contrastive_loss(
+    left,
+    right,
+    same_class,
+    *,
+    margin: float = 1.0,
+    variant: str = "squared",
+    reduction: str = "mean",
+) -> Tensor:
+    """Differentiable supervised contrastive loss on embedding pairs.
+
+    See :class:`repro.nn.losses.ContrastiveLoss` for parameter semantics.
+    """
+    criterion = ContrastiveLoss(margin=margin, variant=variant, reduction=reduction)
+    left = left if isinstance(left, Tensor) else Tensor(left)
+    right = right if isinstance(right, Tensor) else Tensor(right)
+    return criterion(left, right, same_class)
+
+
+def contrastive_loss_value(
+    left: np.ndarray,
+    right: np.ndarray,
+    same_class: np.ndarray,
+    *,
+    margin: float = 1.0,
+    variant: str = "squared",
+) -> float:
+    """Pure-numpy (non-differentiable) evaluation of the same loss."""
+    left = np.asarray(left, dtype=np.float64)
+    right = np.asarray(right, dtype=np.float64)
+    same = np.asarray(same_class, dtype=np.float64).reshape(-1)
+    squared = ((left - right) ** 2).sum(axis=1)
+    if variant == "squared":
+        dissimilar = np.maximum(0.0, margin**2 - squared)
+    else:
+        distance = np.sqrt(squared + 1e-12)
+        dissimilar = np.maximum(0.0, margin - distance) ** 2
+    per_pair = same * squared + (1.0 - same) * dissimilar
+    return float(per_pair.mean())

@@ -1,0 +1,31 @@
+"""Functional interface to the feature-space distillation loss (Algorithm 1, line 11)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.losses import DistillationLoss
+
+
+def distillation_loss(new_embeddings, old_embeddings, *, reduction: str = "mean") -> Tensor:
+    """Differentiable distillation term ``Σ ||φ_new(x) − φ_old(x)||²``.
+
+    ``old_embeddings`` (the frozen teacher's embeddings) never receives a
+    gradient.
+    """
+    criterion = DistillationLoss(reduction=reduction)
+    new_embeddings = (
+        new_embeddings if isinstance(new_embeddings, Tensor) else Tensor(new_embeddings)
+    )
+    old_embeddings = (
+        old_embeddings if isinstance(old_embeddings, Tensor) else Tensor(old_embeddings)
+    )
+    return criterion(new_embeddings, old_embeddings)
+
+
+def distillation_loss_value(new_embeddings: np.ndarray, old_embeddings: np.ndarray) -> float:
+    """Pure-numpy evaluation of the mean distillation loss."""
+    new = np.asarray(new_embeddings, dtype=np.float64)
+    old = np.asarray(old_embeddings, dtype=np.float64)
+    return float(((new - old) ** 2).sum(axis=1).mean())

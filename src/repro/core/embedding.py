@@ -1,0 +1,110 @@
+"""The Siamese embedding backbone.
+
+The paper uses "a simple Fully Connected (FC) neural network with dimensions
+[1024 × 512 × 128 × 64 × 128]", Batch Normalisation and ReLU on the first four
+layers, and a final linear projection into a 128-dimensional embedding space.
+Both Siamese branches share the same weights, so a single network object is
+enough; pairs are formed downstream by indexing the embedded batch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.core.config import PiloteConfig
+from repro.exceptions import ShapeError
+from repro.nn.layers import Sequential, build_mlp
+from repro.nn.module import Module
+from repro.utils.rng import RandomState
+
+
+class EmbeddingNetwork(Module):
+    """Feature-map ``φ_Θ : R^d → R^e`` implemented as an MLP.
+
+    Parameters
+    ----------
+    input_dim:
+        Dimensionality of the input feature vectors (80 for the paper's
+        statistical features).
+    config:
+        :class:`PiloteConfig` describing the layer widths, embedding size and
+        whether embeddings are L2-normalised.
+    rng:
+        Seed or generator for the weight initialisation.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        config: Optional[PiloteConfig] = None,
+        rng: RandomState = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or PiloteConfig()
+        self.input_dim = int(input_dim)
+        self.embedding_dim = self.config.embedding_dim
+        layer_sizes = self.config.layer_sizes(input_dim)
+        self.backbone: Sequential = build_mlp(
+            layer_sizes,
+            batch_norm=self.config.batch_norm,
+            activation="relu",
+            rng=rng if rng is not None else self.config.seed,
+        )
+        self.normalize = bool(self.config.normalize_embeddings)
+
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs) -> Tensor:
+        """Differentiable forward pass; accepts arrays or tensors."""
+        tensor = inputs if isinstance(inputs, Tensor) else Tensor(inputs)
+        if tensor.ndim != 2 or tensor.shape[1] != self.input_dim:
+            raise ShapeError(
+                f"expected input of shape (batch, {self.input_dim}), got {tensor.shape}"
+            )
+        embeddings = self.backbone(tensor)
+        if self.normalize:
+            embeddings = ops.l2_normalize(embeddings, axis=1)
+        return embeddings
+
+    def embed(self, features: np.ndarray, *, batch_size: int = 512) -> np.ndarray:
+        """Inference-mode embedding of a feature matrix (no gradient graph).
+
+        Large inputs are processed in chunks to bound peak memory on
+        resource-constrained devices.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        was_training = self.training
+        self.eval()
+        outputs = []
+        with no_grad():
+            for start in range(0, features.shape[0], batch_size):
+                chunk = features[start:start + batch_size]
+                outputs.append(self.forward(Tensor(chunk)).data.copy())
+        if was_training:
+            self.train()
+        return np.concatenate(outputs, axis=0)
+
+    # ------------------------------------------------------------------ #
+    def clone_frozen(self) -> "EmbeddingNetwork":
+        """Deep copy used as the frozen teacher ``φ_Θo`` for distillation."""
+        duplicate = EmbeddingNetwork(self.input_dim, config=self.config)
+        duplicate.load_state_dict(self.state_dict())
+        duplicate.eval()
+        return duplicate
+
+    def describe(self) -> dict:
+        """Architecture summary (used by logs, examples and the edge profiler)."""
+        return {
+            "input_dim": self.input_dim,
+            "hidden_dims": list(self.config.hidden_dims),
+            "embedding_dim": self.embedding_dim,
+            "n_parameters": self.num_parameters(),
+            "parameter_bytes_float32": self.parameter_nbytes(),
+            "batch_norm": self.config.batch_norm,
+            "normalized": self.normalize,
+        }

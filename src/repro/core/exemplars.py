@@ -1,0 +1,218 @@
+"""Exemplar ("support set") selection and storage.
+
+Algorithm 1 of the paper selects, for every old class, the ``m = K / (s − 1)``
+samples whose running embedding mean best approximates the class prototype —
+the *herding* construction also used by iCaRL.  The resulting support set is
+what the cloud ships to the edge device alongside the pre-trained model, so its
+byte size is the quantity Q2 of the paper reasons about.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.utils.rng import RandomState, resolve_rng
+from repro.utils.serialization import float32_nbytes
+
+
+def herding_selection(
+    features: np.ndarray,
+    embeddings: np.ndarray,
+    n_exemplars: int,
+) -> np.ndarray:
+    """Indices of the herding-selected exemplars of one class.
+
+    Implements lines 4–7 of Algorithm 1: iteratively pick the sample whose
+    inclusion keeps the mean of the selected embeddings closest to the class
+    prototype ``μ_y`` (each sample is selected at most once).
+
+    Parameters
+    ----------
+    features:
+        ``(n, d)`` raw feature rows of the class (only used for counting).
+    embeddings:
+        ``(n, e)`` embeddings of the same rows under the current model.
+    n_exemplars:
+        Number of exemplars ``m`` to select (capped at ``n``).
+
+    Returns
+    -------
+    numpy.ndarray
+        Indices into the class's rows, in selection order.
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if embeddings.ndim != 2:
+        raise DataError(f"embeddings must be 2-D, got shape {embeddings.shape}")
+    count = embeddings.shape[0]
+    if np.asarray(features).shape[0] != count:
+        raise DataError("features and embeddings must describe the same rows")
+    if n_exemplars <= 0:
+        raise DataError(f"n_exemplars must be positive, got {n_exemplars}")
+    n_exemplars = min(int(n_exemplars), count)
+
+    prototype = embeddings.mean(axis=0)
+    selected: List[int] = []
+    running_sum = np.zeros_like(prototype)
+    available = np.ones(count, dtype=bool)
+    for step in range(1, n_exemplars + 1):
+        candidate_means = (running_sum[None, :] + embeddings) / step
+        distances = np.linalg.norm(candidate_means - prototype[None, :], axis=1)
+        distances[~available] = np.inf
+        best = int(np.argmin(distances))
+        selected.append(best)
+        available[best] = False
+        running_sum += embeddings[best]
+    return np.asarray(selected, dtype=np.int64)
+
+
+def random_selection(
+    features: np.ndarray,
+    embeddings: np.ndarray,
+    n_exemplars: int,
+    rng: RandomState = None,
+) -> np.ndarray:
+    """Uniformly random exemplar selection (the paper's "random exemplars" setting)."""
+    count = np.asarray(features).shape[0]
+    if n_exemplars <= 0:
+        raise DataError(f"n_exemplars must be positive, got {n_exemplars}")
+    generator = resolve_rng(rng)
+    take = min(int(n_exemplars), count)
+    return np.sort(generator.choice(count, size=take, replace=False)).astype(np.int64)
+
+
+SelectionFn = Callable[[np.ndarray, np.ndarray, int], np.ndarray]
+
+
+class ExemplarStore:
+    """Per-class exemplar sets ``P = (P_1, ..., P_t)``.
+
+    The store keeps the raw feature rows (not embeddings) so that exemplars can
+    be re-embedded whenever the model changes, exactly as Algorithm 1 requires.
+
+    Parameters
+    ----------
+    capacity:
+        Total cache size ``K``; ``None`` means unbounded (used by ablations).
+    strategy:
+        ``"herding"`` or ``"random"``.
+    rng:
+        Seed or generator for random selection.
+    """
+
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        strategy: str = "herding",
+        rng: RandomState = None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise DataError(f"capacity must be positive, got {capacity}")
+        if strategy not in ("herding", "random"):
+            raise DataError(f"strategy must be 'herding' or 'random', got {strategy!r}")
+        self.capacity = capacity
+        self.strategy = strategy
+        self._rng = resolve_rng(rng)
+        self._exemplars: Dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def classes(self) -> List[int]:
+        return sorted(self._exemplars)
+
+    def __contains__(self, class_id: int) -> bool:
+        return int(class_id) in self._exemplars
+
+    def __len__(self) -> int:
+        return len(self._exemplars)
+
+    def exemplars_per_class(self) -> Dict[int, int]:
+        """Mapping ``class id → number of stored exemplars``."""
+        return {class_id: rows.shape[0] for class_id, rows in self._exemplars.items()}
+
+    def total_exemplars(self) -> int:
+        return int(sum(rows.shape[0] for rows in self._exemplars.values()))
+
+    def per_class_budget(self, n_classes: Optional[int] = None) -> Optional[int]:
+        """``m = K / n_classes`` (Algorithm 1, line 1); ``None`` when unbounded."""
+        if self.capacity is None:
+            return None
+        n_classes = n_classes if n_classes is not None else max(len(self._exemplars), 1)
+        return max(self.capacity // max(n_classes, 1), 1)
+
+    # ------------------------------------------------------------------ #
+    def select(
+        self,
+        class_id: int,
+        features: np.ndarray,
+        embeddings: np.ndarray,
+        n_exemplars: Optional[int] = None,
+    ) -> np.ndarray:
+        """Select and store exemplars for one class; returns the chosen indices."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[0] == 0:
+            raise DataError(f"features for class {class_id} must be a non-empty 2-D array")
+        budget = n_exemplars
+        if budget is None:
+            budget = self.per_class_budget()
+        if budget is None:
+            budget = features.shape[0]
+        if self.strategy == "herding":
+            indices = herding_selection(features, embeddings, budget)
+        else:
+            indices = random_selection(features, embeddings, budget, rng=self._rng)
+        self._exemplars[int(class_id)] = features[indices].copy()
+        return indices
+
+    def set_exemplars(self, class_id: int, features: np.ndarray) -> None:
+        """Directly store exemplar rows for a class (used when re-balancing)."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[0] == 0:
+            raise DataError("exemplar features must be a non-empty 2-D array")
+        self._exemplars[int(class_id)] = features.copy()
+
+    def get(self, class_id: int) -> np.ndarray:
+        if int(class_id) not in self._exemplars:
+            raise KeyError(f"no exemplars stored for class {class_id}")
+        return self._exemplars[int(class_id)]
+
+    def remove(self, class_id: int) -> None:
+        self._exemplars.pop(int(class_id), None)
+
+    def rebalance(self, per_class: int) -> None:
+        """Trim every class to at most ``per_class`` exemplars (keeps selection order)."""
+        if per_class <= 0:
+            raise DataError(f"per_class must be positive, got {per_class}")
+        for class_id, rows in list(self._exemplars.items()):
+            self._exemplars[class_id] = rows[:per_class]
+
+    # ------------------------------------------------------------------ #
+    def as_dataset(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All exemplars as ``(features, labels)`` arrays (the support set ``D_0``)."""
+        if not self._exemplars:
+            raise DataError("the exemplar store is empty")
+        features = []
+        labels = []
+        for class_id in self.classes:
+            rows = self._exemplars[class_id]
+            features.append(rows)
+            labels.append(np.full(rows.shape[0], class_id, dtype=np.int64))
+        return np.concatenate(features, axis=0), np.concatenate(labels, axis=0)
+
+    def nbytes(self, dtype_bytes: int = 4) -> int:
+        """Storage footprint of the support set serialised as float32."""
+        total_values = sum(rows.size for rows in self._exemplars.values())
+        return float32_nbytes(total_values) if dtype_bytes == 4 else int(total_values * dtype_bytes)
+
+    def describe(self) -> Dict[str, object]:
+        """Summary used by the edge-transfer accounting and logs."""
+        return {
+            "strategy": self.strategy,
+            "capacity": self.capacity,
+            "classes": self.classes,
+            "exemplars_per_class": self.exemplars_per_class(),
+            "total_exemplars": self.total_exemplars(),
+            "nbytes_float32": self.nbytes(),
+        }

@@ -1,0 +1,83 @@
+"""Nearest Class Mean (NCM) classifier on the embedding space (Eq. 1).
+
+Given class prototypes ``μ_y``, a sample is assigned to the class whose
+prototype is nearest to its embedding.  The classifier itself holds no
+trainable parameters, which is what makes it cheap enough for the edge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.prototypes import PrototypeStore
+from repro.exceptions import DataError, NotFittedError
+
+
+class NCMClassifier:
+    """Nearest-class-mean classification with Euclidean (or cosine) distance."""
+
+    def __init__(self, metric: str = "euclidean") -> None:
+        if metric not in ("euclidean", "cosine"):
+            raise DataError(f"metric must be 'euclidean' or 'cosine', got {metric!r}")
+        self.metric = metric
+        self._store: Optional[PrototypeStore] = None
+        self._classes: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    def fit(self, prototypes) -> "NCMClassifier":
+        """Fit from a :class:`PrototypeStore` or a ``{class id: vector}`` mapping."""
+        if isinstance(prototypes, PrototypeStore):
+            store = prototypes
+        elif isinstance(prototypes, dict):
+            store = PrototypeStore()
+            for class_id, vector in prototypes.items():
+                store.set(int(class_id), vector)
+        else:
+            raise DataError("prototypes must be a PrototypeStore or a dict")
+        if len(store) == 0:
+            raise DataError("cannot fit an NCM classifier with zero prototypes")
+        self._store = store
+        self._classes = store.classes
+        return self
+
+    @property
+    def classes_(self) -> List[int]:
+        if self._store is None:
+            raise NotFittedError("the NCM classifier has not been fitted")
+        return list(self._classes)
+
+    # ------------------------------------------------------------------ #
+    def distances(self, embeddings: np.ndarray) -> np.ndarray:
+        """Distance of every embedding to every class prototype ``(n, n_classes)``."""
+        if self._store is None:
+            raise NotFittedError("the NCM classifier has not been fitted")
+        embeddings = np.asarray(embeddings, dtype=np.float64)
+        if embeddings.ndim == 1:
+            embeddings = embeddings[None, :]
+        prototypes = self._store.as_matrix(self._classes)
+        if embeddings.shape[1] != prototypes.shape[1]:
+            raise DataError(
+                f"embeddings have dimension {embeddings.shape[1]}, prototypes "
+                f"{prototypes.shape[1]}"
+            )
+        if self.metric == "euclidean":
+            deltas = embeddings[:, None, :] - prototypes[None, :, :]
+            return np.linalg.norm(deltas, axis=2)
+        normalised_e = embeddings / (np.linalg.norm(embeddings, axis=1, keepdims=True) + 1e-12)
+        normalised_p = prototypes / (np.linalg.norm(prototypes, axis=1, keepdims=True) + 1e-12)
+        return 1.0 - normalised_e @ normalised_p.T
+
+    def predict(self, embeddings: np.ndarray) -> np.ndarray:
+        """Class id of the nearest prototype for every embedding."""
+        nearest = np.argmin(self.distances(embeddings), axis=1)
+        return np.asarray([self._classes[index] for index in nearest], dtype=np.int64)
+
+    def predict_scores(self, embeddings: np.ndarray) -> np.ndarray:
+        """Soft scores (negative distances, softmax-normalised) per class."""
+        distances = self.distances(embeddings)
+        logits = -distances
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        return exp / exp.sum(axis=1, keepdims=True)

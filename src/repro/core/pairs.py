@@ -1,0 +1,160 @@
+"""Pair sampling for the Siamese contrastive objective.
+
+Algorithm 1 (line 12) forms contrastive pairs between the old-class support
+set ``D_0`` and the new-class data ``D_n``.  The paper additionally notes that
+thanks to the distillation constraint on old-class embeddings, the number of
+contrastive pairs can be reduced to the pairs involving new-class samples
+(instead of all-vs-all pairs over every class), which is the "new_centred"
+strategy implemented here.  An "all" strategy (every pair within the batch) is
+available for pre-training and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.utils.rng import RandomState, resolve_rng
+
+
+@dataclass
+class PairBatch:
+    """Index representation of a set of sample pairs within a mini-batch.
+
+    ``left`` and ``right`` index rows of the batch; ``same_class`` holds the
+    binary pair label ``Y`` of Eq. 2 (1 when the two rows share a class).
+    """
+
+    left: np.ndarray
+    right: np.ndarray
+    same_class: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.left = np.asarray(self.left, dtype=np.int64)
+        self.right = np.asarray(self.right, dtype=np.int64)
+        self.same_class = np.asarray(self.same_class, dtype=np.float64)
+        if not (self.left.shape == self.right.shape == self.same_class.shape):
+            raise DataError("pair index arrays must share the same shape")
+
+    @property
+    def n_pairs(self) -> int:
+        return int(self.left.shape[0])
+
+    @property
+    def n_positive(self) -> int:
+        return int(self.same_class.sum())
+
+    @property
+    def n_negative(self) -> int:
+        return self.n_pairs - self.n_positive
+
+
+class PairSampler:
+    """Builds :class:`PairBatch` objects from mini-batch labels.
+
+    Parameters
+    ----------
+    strategy:
+        ``"all"`` — every unordered pair in the batch (capped at ``max_pairs``
+        by uniform sub-sampling); ``"new_centred"`` — only pairs in which at
+        least one member belongs to a designated set of new classes;
+        ``"balanced"`` — equal numbers of positive and negative pairs drawn at
+        random.
+    max_pairs:
+        Upper bound on the number of pairs returned per call.
+    rng:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        strategy: str = "all",
+        max_pairs: int = 256,
+        rng: RandomState = None,
+    ) -> None:
+        if strategy not in ("all", "new_centred", "balanced"):
+            raise DataError(
+                f"strategy must be one of 'all', 'new_centred', 'balanced', got {strategy!r}"
+            )
+        if max_pairs <= 0:
+            raise DataError(f"max_pairs must be positive, got {max_pairs}")
+        self.strategy = strategy
+        self.max_pairs = int(max_pairs)
+        self._rng = resolve_rng(rng)
+
+    # ------------------------------------------------------------------ #
+    def sample(
+        self,
+        labels: np.ndarray,
+        new_classes: Optional[set] = None,
+    ) -> PairBatch:
+        """Sample pairs among the rows described by ``labels``."""
+        labels = np.asarray(labels).reshape(-1)
+        count = labels.shape[0]
+        if count < 2:
+            raise DataError("at least two samples are required to build pairs")
+        if self.strategy == "balanced":
+            return self._balanced(labels)
+        left, right = np.triu_indices(count, k=1)
+        if self.strategy == "new_centred":
+            if not new_classes:
+                raise DataError("new_centred pair sampling requires the set of new classes")
+            new_ids = np.asarray(sorted(int(c) for c in new_classes))
+            involves_new = np.isin(labels[left], new_ids) | np.isin(labels[right], new_ids)
+            left, right = left[involves_new], right[involves_new]
+            if left.size == 0:
+                # Fall back to all pairs (e.g. a batch containing only exemplars).
+                left, right = np.triu_indices(count, k=1)
+        if left.size > self.max_pairs:
+            chosen = self._rng.choice(left.size, size=self.max_pairs, replace=False)
+            left, right = left[chosen], right[chosen]
+        same = (labels[left] == labels[right]).astype(np.float64)
+        return PairBatch(left=left, right=right, same_class=same)
+
+    # ------------------------------------------------------------------ #
+    def _balanced(self, labels: np.ndarray) -> PairBatch:
+        count = labels.shape[0]
+        left, right = np.triu_indices(count, k=1)
+        same = labels[left] == labels[right]
+        positive = np.flatnonzero(same)
+        negative = np.flatnonzero(~same)
+        per_side = self.max_pairs // 2
+        if positive.size == 0 or negative.size == 0:
+            # Degenerate batch (single class): return whatever pairs exist.
+            chosen = np.arange(left.size)
+            if chosen.size > self.max_pairs:
+                chosen = self._rng.choice(chosen, size=self.max_pairs, replace=False)
+        else:
+            take_pos = min(per_side, positive.size)
+            take_neg = min(per_side, negative.size)
+            chosen = np.concatenate(
+                [
+                    self._rng.choice(positive, size=take_pos, replace=False),
+                    self._rng.choice(negative, size=take_neg, replace=False),
+                ]
+            )
+        left, right = left[chosen], right[chosen]
+        return PairBatch(
+            left=left,
+            right=right,
+            same_class=(labels[left] == labels[right]).astype(np.float64),
+        )
+
+
+def count_contrastive_pairs(class_counts: dict, new_classes: Optional[set] = None) -> int:
+    """Number of pairs formed under the paper's complexity discussion.
+
+    With ``new_classes`` given, only pairs involving at least one new-class
+    sample are counted (PILOTE's reduced pair set); otherwise all within-batch
+    pairs are counted.
+    """
+    total = int(sum(class_counts.values()))
+    all_pairs = total * (total - 1) // 2
+    if not new_classes:
+        return all_pairs
+    old_total = int(sum(c for k, c in class_counts.items() if k not in new_classes))
+    old_pairs = old_total * (old_total - 1) // 2
+    return all_pairs - old_pairs

@@ -1,0 +1,90 @@
+"""Saving and restoring a full PILOTE learner.
+
+Edge deployments need to persist the learner between sessions (the device may
+reboot between two data-collection campaigns).  The checkpoint contains the
+backbone weights, the exemplar support set, the class prototypes and the
+class bookkeeping; the configuration is stored as metadata so a restored
+learner is functionally identical to the saved one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.config import PiloteConfig
+from repro.core.pilote import PILOTE
+from repro.exceptions import NotFittedError, SerializationError
+from repro.utils.serialization import load_npz_state, save_npz_state
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_pilote(learner: PILOTE, path: PathLike) -> Path:
+    """Serialise a trained PILOTE learner to a single ``.npz`` checkpoint."""
+    if not learner.is_pretrained:
+        raise NotFittedError("only a pre-trained learner can be saved")
+    state = {}
+    for key, value in learner.model.state_dict().items():
+        state[f"model/{key}"] = value
+    for class_id in learner.exemplars.classes:
+        state[f"exemplars/{class_id}"] = learner.exemplars.get(class_id)
+    for class_id in learner.prototypes.classes:
+        state[f"prototypes/{class_id}"] = learner.prototypes.get(class_id)
+    metadata = {
+        "format_version": _FORMAT_VERSION,
+        "config": dataclasses.asdict(learner.config),
+        "input_dim": learner.model.input_dim,
+        "old_classes": list(learner.old_classes),
+        "new_classes": list(learner.new_classes),
+        "exemplar_strategy": learner.exemplars.strategy,
+        "exemplar_capacity": learner.exemplars.capacity,
+    }
+    return save_npz_state(path, state, metadata=metadata)
+
+
+def load_pilote(path: PathLike) -> PILOTE:
+    """Restore a PILOTE learner saved with :func:`save_pilote`."""
+    state = load_npz_state(path)
+    metadata = state.get("__metadata__")
+    if not isinstance(metadata, dict) or "config" not in metadata:
+        raise SerializationError(f"{path} is not a PILOTE checkpoint")
+    if metadata.get("format_version") != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported checkpoint version {metadata.get('format_version')!r}"
+        )
+    config_fields = dict(metadata["config"])
+    config_fields["hidden_dims"] = tuple(config_fields["hidden_dims"])
+    config = PiloteConfig(**config_fields)
+
+    learner = PILOTE(config)
+    from repro.core.embedding import EmbeddingNetwork  # local import avoids a cycle at module load
+
+    learner.model = EmbeddingNetwork(int(metadata["input_dim"]), config=config)
+    model_state = {
+        key[len("model/"):]: value
+        for key, value in state.items()
+        if key.startswith("model/")
+    }
+    learner.model.load_state_dict(model_state)
+    learner.model.eval()
+
+    learner._old_classes = [int(c) for c in metadata["old_classes"]]
+    learner._new_classes = [int(c) for c in metadata["new_classes"]]
+    learner.exemplars.strategy = metadata.get("exemplar_strategy", config.exemplar_strategy)
+    learner.exemplars.capacity = metadata.get("exemplar_capacity")
+    for key, value in state.items():
+        if key.startswith("exemplars/"):
+            learner.exemplars.set_exemplars(int(key.split("/")[1]), np.asarray(value))
+    for key, value in state.items():
+        if key.startswith("prototypes/"):
+            learner.prototypes.set(int(key.split("/")[1]), np.asarray(value))
+    if len(learner.prototypes) > 0:
+        learner.classifier = learner.classifier.fit(learner.prototypes)
+        learner._classifier_ready = True
+    return learner

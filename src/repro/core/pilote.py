@@ -1,0 +1,413 @@
+"""The PILOTE learner.
+
+PILOTE (Pushing Incremental Learning On human activities at the exTreme Edge)
+combines four ingredients:
+
+1. a Siamese embedding backbone trained with a supervised contrastive loss
+   (cloud pre-training on the initially known activities);
+2. a herding-selected exemplar support set shipped to the edge together with
+   the pre-trained model;
+3. an edge-side incremental update that jointly optimises the contrastive loss
+   on new-class data and a feature-space distillation loss anchoring the
+   old-class exemplar embeddings to the frozen pre-trained model
+   (``L = α · L_disti + (1 − α) · L_contra``, Algorithm 1);
+4. a nearest-class-mean classifier over class prototypes (Eq. 1).
+
+Typical usage::
+
+    config = PiloteConfig.edge_lightweight(seed=0)
+    learner = PILOTE(config)
+    learner.pretrain(old_train, old_validation)
+    learner.learn_new_classes(new_train, new_validation)
+    predictions = learner.predict(test.features)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor, no_grad
+from repro.core.config import PiloteConfig
+from repro.core.embedding import EmbeddingNetwork
+from repro.core.exemplars import ExemplarStore
+from repro.core.ncm import NCMClassifier
+from repro.core.pairs import PairSampler
+from repro.core.prototypes import PrototypeStore
+from repro.data.dataset import HARDataset
+from repro.exceptions import DataError, NotFittedError
+from repro.nn.losses import ContrastiveLoss, DistillationLoss
+from repro.nn.optim import Adam
+from repro.nn.schedulers import HalvingLR
+from repro.nn.trainer import EarlyStopping, Trainer, TrainingHistory
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState, resolve_rng
+
+logger = get_logger("core.pilote")
+
+
+class PILOTE:
+    """Incremental human-activity learner for the extreme edge.
+
+    Parameters
+    ----------
+    config:
+        Hyper-parameters; defaults to the paper's settings
+        (:meth:`PiloteConfig.paper_defaults`).
+    seed:
+        Overrides ``config.seed`` when given.
+    """
+
+    def __init__(self, config: Optional[PiloteConfig] = None, seed: RandomState = None) -> None:
+        self.config = config or PiloteConfig()
+        self._rng = resolve_rng(seed if seed is not None else self.config.seed)
+        self.model: Optional[EmbeddingNetwork] = None
+        self.teacher: Optional[EmbeddingNetwork] = None
+        self.exemplars = ExemplarStore(
+            capacity=self.config.cache_size,
+            strategy=self.config.exemplar_strategy,
+            rng=self._rng,
+        )
+        self.prototypes = PrototypeStore(embedding_dim=self.config.embedding_dim)
+        self.classifier = NCMClassifier()
+        self._old_classes: List[int] = []
+        self._new_classes: List[int] = []
+        self._contrastive = ContrastiveLoss(
+            margin=self.config.margin, variant=self.config.contrastive_variant
+        )
+        self._distillation = DistillationLoss()
+        self._pretrain_dataset: Optional[HARDataset] = None
+        self._classifier_ready = False
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def is_pretrained(self) -> bool:
+        return self.model is not None and bool(self._old_classes)
+
+    @property
+    def classes_(self) -> List[int]:
+        """All classes currently known to the learner."""
+        return sorted(set(self._old_classes) | set(self._new_classes))
+
+    @property
+    def old_classes(self) -> List[int]:
+        return list(self._old_classes)
+
+    @property
+    def new_classes(self) -> List[int]:
+        return list(self._new_classes)
+
+    # ------------------------------------------------------------------ #
+    # cloud pre-training
+    # ------------------------------------------------------------------ #
+    def pretrain(
+        self,
+        train: HARDataset,
+        validation: Optional[HARDataset] = None,
+        *,
+        exemplars_per_class: Optional[int] = None,
+    ) -> TrainingHistory:
+        """Cloud-side pre-training on the initially known activities.
+
+        Trains the embedding backbone with the pure contrastive objective,
+        then builds the exemplar support set and the class prototypes.
+
+        Parameters
+        ----------
+        train, validation:
+            Old-class data (``D_o``) and its validation split.
+        exemplars_per_class:
+            Support-set size per class; defaults to ``cache_size // n_classes``.
+        """
+        if train.n_samples < 2:
+            raise DataError("pre-training requires at least two samples")
+        self.model = EmbeddingNetwork(train.n_features, config=self.config, rng=self._rng)
+        self._old_classes = [int(c) for c in train.classes]
+        self._new_classes = []
+        self._pretrain_dataset = train
+        history = self._run_training(
+            features=train.features,
+            labels=train.labels,
+            validation=validation,
+            max_epochs=self.config.max_epochs_pretrain,
+            new_classes=None,
+            teacher=None,
+        )
+        self.build_support_set(per_class=exemplars_per_class)
+        logger.info(
+            "pre-trained on classes %s (%d samples, %d epochs)",
+            self._old_classes,
+            train.n_samples,
+            history.epochs_run,
+        )
+        return history
+
+    def build_support_set(
+        self,
+        dataset: Optional[HARDataset] = None,
+        *,
+        per_class: Optional[int] = None,
+        strategy: Optional[str] = None,
+    ) -> ExemplarStore:
+        """(Re)build the exemplar support set from old-class data.
+
+        This is the cloud-side step of Algorithm 1 (lines 1–7).  It may be
+        called again after pre-training with a different ``per_class`` budget
+        or selection ``strategy`` — the support-set-size experiments
+        (Figure 6) rely on that.
+        """
+        if self.model is None:
+            raise NotFittedError("pretrain() must run before building the support set")
+        dataset = dataset or self._pretrain_dataset
+        if dataset is None:
+            raise DataError("no dataset available to build the support set from")
+        strategy = strategy or self.config.exemplar_strategy
+        self.exemplars = ExemplarStore(
+            capacity=self.config.cache_size if per_class is None else None,
+            strategy=strategy,
+            rng=self._rng,
+        )
+        classes = [int(c) for c in dataset.classes]
+        budget = per_class
+        if budget is None:
+            budget = max(self.config.cache_size // max(len(classes), 1), 1)
+        for class_id in classes:
+            rows = dataset.class_subset(class_id)
+            embeddings = self.model.embed(rows)
+            self.exemplars.select(class_id, rows, embeddings, n_exemplars=budget)
+        self._refresh_prototypes()
+        return self.exemplars
+
+    # ------------------------------------------------------------------ #
+    # edge-side incremental learning
+    # ------------------------------------------------------------------ #
+    def learn_new_classes(
+        self,
+        new_train: HARDataset,
+        new_validation: Optional[HARDataset] = None,
+        *,
+        new_exemplars_per_class: Optional[int] = None,
+    ) -> TrainingHistory:
+        """Edge-side incremental update with new-class data (Algorithm 1, lines 8–13).
+
+        Parameters
+        ----------
+        new_train:
+            New-class samples ``D_n`` recorded on the edge.
+        new_validation:
+            Optional validation split used for early stopping.
+        new_exemplars_per_class:
+            How many new-class exemplars to keep afterwards; defaults to the
+            same per-class budget as the old classes.
+        """
+        if not self.is_pretrained:
+            raise NotFittedError("pretrain() must run before learn_new_classes()")
+        if len(self.exemplars) == 0:
+            raise NotFittedError("the support set is empty; call build_support_set() first")
+        incoming = [int(c) for c in new_train.classes]
+        already_known = set(self.classes_) & set(incoming)
+        if already_known:
+            raise DataError(f"classes {sorted(already_known)} are already known to the model")
+
+        # Freeze the current model as the distillation teacher φ_Θo.
+        self.teacher = self.model.clone_frozen()
+
+        support_features, support_labels = self.exemplars.as_dataset()
+        combined_features = np.concatenate([support_features, new_train.features], axis=0)
+        combined_labels = np.concatenate([support_labels, new_train.labels], axis=0)
+
+        validation = new_validation
+        if validation is not None and validation.n_samples > 1:
+            validation_features = np.concatenate(
+                [support_features, validation.features], axis=0
+            )
+            validation_labels = np.concatenate([support_labels, validation.labels], axis=0)
+            validation_pair: Optional[Tuple[np.ndarray, np.ndarray]] = (
+                validation_features,
+                validation_labels,
+            )
+        else:
+            validation_pair = None
+
+        history = self._run_training(
+            features=combined_features,
+            labels=combined_labels,
+            validation=None,
+            validation_arrays=validation_pair,
+            max_epochs=self.config.max_epochs_increment,
+            new_classes=set(incoming),
+            teacher=self.teacher,
+        )
+
+        # Store exemplars for the new classes and refresh all prototypes.
+        budget = new_exemplars_per_class
+        if budget is None:
+            counts = self.exemplars.exemplars_per_class()
+            budget = max(counts.values()) if counts else None
+        for class_id in incoming:
+            rows = new_train.class_subset(class_id)
+            embeddings = self.model.embed(rows)
+            self.exemplars.select(class_id, rows, embeddings, n_exemplars=budget)
+        self._new_classes = sorted(set(self._new_classes) | set(incoming))
+        self._refresh_prototypes()
+        logger.info(
+            "learned new classes %s from %d samples (%d epochs)",
+            incoming,
+            new_train.n_samples,
+            history.epochs_run,
+        )
+        return history
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def embed(self, features: np.ndarray) -> np.ndarray:
+        """Embed feature rows with the current model (inference mode)."""
+        if self.model is None:
+            raise NotFittedError("the model has not been trained")
+        return self.model.embed(features)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict activity classes with the NCM classifier (Eq. 1)."""
+        self._ensure_classifier()
+        return self.classifier.predict(self.embed(features))
+
+    def predict_scores(self, features: np.ndarray) -> np.ndarray:
+        """Soft class scores (softmax over negative prototype distances)."""
+        self._ensure_classifier()
+        return self.classifier.predict_scores(self.embed(features))
+
+    def evaluate(self, dataset: HARDataset) -> float:
+        """Plain accuracy of the learner on a labelled dataset."""
+        predictions = self.predict(dataset.features)
+        return float(np.mean(predictions == dataset.labels))
+
+    # ------------------------------------------------------------------ #
+    # resource accounting (Q2)
+    # ------------------------------------------------------------------ #
+    def support_set_nbytes(self) -> int:
+        """Bytes needed to store the exemplar support set as float32."""
+        return self.exemplars.nbytes()
+
+    def model_nbytes(self) -> int:
+        """Bytes needed to store the backbone parameters as float32."""
+        if self.model is None:
+            return 0
+        return self.model.parameter_nbytes()
+
+    def memory_footprint(self) -> Dict[str, int]:
+        """Byte-level footprint of everything the edge must hold."""
+        return {
+            "model_bytes": self.model_nbytes(),
+            "support_set_bytes": self.support_set_nbytes(),
+            "prototype_bytes": self.prototypes.nbytes(),
+            "total_bytes": self.model_nbytes()
+            + self.support_set_nbytes()
+            + self.prototypes.nbytes(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _refresh_prototypes(self) -> None:
+        """Recompute every class prototype from its exemplars under the current model."""
+        if self.model is None:
+            raise NotFittedError("the model has not been trained")
+        self.prototypes = PrototypeStore(embedding_dim=self.config.embedding_dim)
+        for class_id in self.exemplars.classes:
+            rows = self.exemplars.get(class_id)
+            embeddings = self.model.embed(rows)
+            self.prototypes.set(class_id, embeddings.mean(axis=0))
+        if len(self.prototypes) > 0:
+            self.classifier = NCMClassifier().fit(self.prototypes)
+            self._classifier_ready = True
+
+    def _ensure_classifier(self) -> None:
+        if not self._classifier_ready:
+            if len(self.prototypes) == 0:
+                raise NotFittedError("no prototypes available; train the model first")
+            self.classifier = NCMClassifier().fit(self.prototypes)
+            self._classifier_ready = True
+
+    def _run_training(
+        self,
+        *,
+        features: np.ndarray,
+        labels: np.ndarray,
+        validation: Optional[HARDataset],
+        max_epochs: int,
+        new_classes: Optional[Set[int]],
+        teacher: Optional[EmbeddingNetwork],
+        validation_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> TrainingHistory:
+        """Shared optimisation loop for pre-training and incremental updates."""
+        assert self.model is not None
+        model = self.model
+        config = self.config
+        pair_strategy = "new_centred" if new_classes else "all"
+        sampler = PairSampler(
+            strategy=pair_strategy, max_pairs=config.max_pairs_per_batch, rng=self._rng
+        )
+        eval_sampler = PairSampler(
+            strategy="all", max_pairs=config.max_pairs_per_batch, rng=self._rng
+        )
+        old_class_ids = set(self._old_classes)
+        alpha = config.alpha if teacher is not None else 0.0
+
+        def joint_loss(batch_features: np.ndarray, batch_labels: np.ndarray, *, training: bool) -> Tensor:
+            batch_tensor = Tensor(batch_features)
+            embeddings = model(batch_tensor)
+            active_sampler = sampler if training else eval_sampler
+            pairs = active_sampler.sample(batch_labels, new_classes=new_classes)
+            left = embeddings[pairs.left]
+            right = embeddings[pairs.right]
+            contrastive = self._contrastive(left, right, pairs.same_class)
+            if alpha <= 0.0 or teacher is None:
+                return contrastive
+            old_mask = np.isin(batch_labels, sorted(old_class_ids))
+            if not old_mask.any():
+                return contrastive * (1.0 - alpha)
+            old_indices = np.flatnonzero(old_mask)
+            with no_grad():
+                teacher_embeddings = teacher(Tensor(batch_features[old_indices])).data
+            student_embeddings = embeddings[old_indices]
+            distillation = self._distillation(student_embeddings, Tensor(teacher_embeddings))
+            return distillation * alpha + contrastive * (1.0 - alpha)
+
+        def train_loss(batch_features: np.ndarray, batch_labels: np.ndarray) -> Tensor:
+            return joint_loss(batch_features, batch_labels, training=True)
+
+        def validation_loss(batch_features: np.ndarray, batch_labels: np.ndarray) -> Tensor:
+            return joint_loss(batch_features, batch_labels, training=False)
+
+        optimizer = Adam(model.parameters(), lr=config.learning_rate)
+        scheduler = HalvingLR(optimizer)
+        early_stopping = EarlyStopping(
+            threshold=config.early_stopping_threshold,
+            patience=config.early_stopping_patience,
+        )
+        trainer = Trainer(
+            model,
+            optimizer,
+            scheduler=scheduler,
+            early_stopping=early_stopping,
+            max_epochs=max_epochs,
+            batch_size=config.batch_size,
+            rng=self._rng,
+        )
+        if validation_arrays is not None:
+            validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = validation_arrays
+        elif validation is not None and validation.n_samples > 1:
+            validation_data = (validation.features, validation.labels)
+        else:
+            validation_data = None
+        return trainer.fit(
+            train_loss,
+            features,
+            labels,
+            validation=validation_data,
+            validation_loss=validation_loss,
+        )

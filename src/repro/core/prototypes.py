@@ -1,0 +1,102 @@
+"""Class prototypes in the embedding space.
+
+A class prototype ``μ_y`` is the mean embedding of the class's exemplar set
+(Eq. 1 of the paper).  The :class:`PrototypeStore` keeps one prototype per
+class and supports incremental updates as exemplar sets change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.exceptions import DataError, NotFittedError
+
+
+def compute_class_prototypes(
+    embeddings: np.ndarray, labels: np.ndarray
+) -> Dict[int, np.ndarray]:
+    """Mean embedding per class.
+
+    Parameters
+    ----------
+    embeddings:
+        ``(n, d)`` embedding matrix.
+    labels:
+        ``(n,)`` integer class ids.
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    labels = np.asarray(labels).reshape(-1)
+    if embeddings.ndim != 2:
+        raise DataError(f"embeddings must be 2-D, got shape {embeddings.shape}")
+    if labels.shape[0] != embeddings.shape[0]:
+        raise DataError(
+            f"got {labels.shape[0]} labels for {embeddings.shape[0]} embeddings"
+        )
+    prototypes: Dict[int, np.ndarray] = {}
+    for class_id in np.unique(labels):
+        prototypes[int(class_id)] = embeddings[labels == class_id].mean(axis=0)
+    return prototypes
+
+
+class PrototypeStore:
+    """Mutable mapping ``class id → prototype vector``."""
+
+    def __init__(self, embedding_dim: Optional[int] = None) -> None:
+        self._prototypes: Dict[int, np.ndarray] = {}
+        self._embedding_dim = embedding_dim
+
+    # ------------------------------------------------------------------ #
+    def set(self, class_id: int, prototype: np.ndarray) -> None:
+        """Insert or replace the prototype of one class."""
+        prototype = np.asarray(prototype, dtype=np.float64).reshape(-1)
+        if self._embedding_dim is None:
+            self._embedding_dim = prototype.shape[0]
+        elif prototype.shape[0] != self._embedding_dim:
+            raise DataError(
+                f"prototype for class {class_id} has dimension {prototype.shape[0]}, "
+                f"expected {self._embedding_dim}"
+            )
+        self._prototypes[int(class_id)] = prototype
+
+    def update_from(self, embeddings: np.ndarray, labels: np.ndarray) -> None:
+        """Recompute prototypes for every class present in ``labels``."""
+        for class_id, prototype in compute_class_prototypes(embeddings, labels).items():
+            self.set(class_id, prototype)
+
+    def get(self, class_id: int) -> np.ndarray:
+        if int(class_id) not in self._prototypes:
+            raise KeyError(f"no prototype stored for class {class_id}")
+        return self._prototypes[int(class_id)]
+
+    def remove(self, class_id: int) -> None:
+        self._prototypes.pop(int(class_id), None)
+
+    def __contains__(self, class_id: int) -> bool:
+        return int(class_id) in self._prototypes
+
+    def __len__(self) -> int:
+        return len(self._prototypes)
+
+    @property
+    def classes(self) -> List[int]:
+        """Sorted class ids with stored prototypes."""
+        return sorted(self._prototypes)
+
+    @property
+    def embedding_dim(self) -> Optional[int]:
+        return self._embedding_dim
+
+    def as_matrix(self, classes: Optional[Iterable[int]] = None) -> np.ndarray:
+        """Prototypes stacked as a ``(n_classes, d)`` matrix (row order = ``classes``)."""
+        order = list(classes) if classes is not None else self.classes
+        if not order:
+            raise NotFittedError("the prototype store is empty")
+        return np.stack([self.get(class_id) for class_id in order], axis=0)
+
+    def nbytes(self, dtype_bytes: int = 4) -> int:
+        """Storage footprint of the prototypes when serialised as float32."""
+        if self._embedding_dim is None:
+            return 0
+        return len(self._prototypes) * self._embedding_dim * dtype_bytes

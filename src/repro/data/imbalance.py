@@ -1,0 +1,81 @@
+"""Class-imbalance utilities.
+
+Activity data arriving on the edge is imbalanced by nature (new activities are
+observed rarely at first); these helpers quantify and construct such
+imbalance for the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data.dataset import HARDataset
+from repro.exceptions import DataError
+from repro.utils.rng import RandomState, resolve_rng
+
+
+def class_counts(labels: np.ndarray) -> Dict[int, int]:
+    """Mapping ``class id -> count`` for a label vector."""
+    labels = np.asarray(labels)
+    values, counts = np.unique(labels, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def imbalance_ratio(labels: np.ndarray) -> float:
+    """Ratio between the largest and the smallest class count (≥ 1)."""
+    counts = class_counts(labels)
+    if not counts:
+        raise DataError("labels must not be empty")
+    values = list(counts.values())
+    return max(values) / max(min(values), 1)
+
+
+def subsample_class(
+    dataset: HARDataset,
+    class_id: int,
+    n_samples: int,
+    rng: RandomState = None,
+) -> HARDataset:
+    """Cap one class at ``n_samples`` rows, leaving every other class untouched."""
+    if n_samples <= 0:
+        raise DataError(f"n_samples must be positive, got {n_samples}")
+    generator = resolve_rng(rng)
+    class_id = int(class_id)
+    class_indices = np.flatnonzero(dataset.labels == class_id)
+    if class_indices.size == 0:
+        raise DataError(f"class {class_id} is not present in the dataset")
+    keep_class = generator.choice(
+        class_indices, size=min(n_samples, class_indices.size), replace=False
+    )
+    other_indices = np.flatnonzero(dataset.labels != class_id)
+    chosen = np.sort(np.concatenate([other_indices, keep_class]))
+    return HARDataset(
+        features=dataset.features[chosen],
+        labels=dataset.labels[chosen],
+        label_names=dict(dataset.label_names),
+    )
+
+
+def make_imbalanced(
+    dataset: HARDataset,
+    proportions: Dict[int, float],
+    rng: RandomState = None,
+) -> HARDataset:
+    """Downsample classes according to ``proportions`` (fraction of rows kept)."""
+    generator = resolve_rng(rng)
+    keep_indices = []
+    for class_id in dataset.classes:
+        class_indices = np.flatnonzero(dataset.labels == class_id)
+        fraction = float(proportions.get(int(class_id), 1.0))
+        if not 0.0 < fraction <= 1.0:
+            raise DataError(f"proportion for class {class_id} must be in (0, 1], got {fraction}")
+        take = max(int(round(fraction * class_indices.size)), 1)
+        keep_indices.append(generator.choice(class_indices, size=take, replace=False))
+    chosen = np.sort(np.concatenate(keep_indices))
+    return HARDataset(
+        features=dataset.features[chosen],
+        labels=dataset.labels[chosen],
+        label_names=dict(dataset.label_names),
+    )

@@ -1,0 +1,140 @@
+"""Loading real HAR datasets from files.
+
+The experiments in this repository run on the synthetic MAGNETO-like
+substitute, but the library is meant to be usable with real recordings.  Two
+interchange formats are supported:
+
+* **NPZ** — an archive with ``features`` (``n × d``) and ``labels`` (``n``)
+  arrays, plus an optional ``label_names`` JSON-encoded mapping;
+* **CSV** — one row per window, the label in a designated column and every
+  other column treated as a feature (the layout produced by most public HAR
+  feature dumps, e.g. UCI-HAR style exports).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data.dataset import HARDataset
+from repro.exceptions import DataError
+
+PathLike = Union[str, Path]
+
+
+def save_dataset_npz(dataset: HARDataset, path: PathLike) -> Path:
+    """Persist a :class:`HARDataset` as an ``.npz`` archive."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names_blob = np.frombuffer(
+        json.dumps({str(k): v for k, v in dataset.label_names.items()}).encode("utf-8"),
+        dtype=np.uint8,
+    )
+    np.savez_compressed(
+        path, features=dataset.features, labels=dataset.labels, label_names=names_blob
+    )
+    return path
+
+
+def load_dataset_npz(path: PathLike) -> HARDataset:
+    """Load a dataset written by :func:`save_dataset_npz` (or any compatible archive)."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"dataset file not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        if "features" not in archive.files or "labels" not in archive.files:
+            raise DataError(f"{path} does not contain 'features' and 'labels' arrays")
+        features = np.asarray(archive["features"], dtype=np.float64)
+        labels = np.asarray(archive["labels"])
+        label_names: Dict[int, str] = {}
+        if "label_names" in archive.files:
+            decoded = json.loads(bytes(archive["label_names"].tobytes()).decode("utf-8"))
+            label_names = {int(key): str(value) for key, value in decoded.items()}
+    return HARDataset(features=features, labels=labels, label_names=label_names)
+
+
+def load_dataset_csv(
+    path: PathLike,
+    *,
+    label_column: str = "label",
+    feature_columns: Optional[Sequence[str]] = None,
+    delimiter: str = ",",
+    label_names: Optional[Dict[int, str]] = None,
+) -> HARDataset:
+    """Load a dataset from a headered CSV file.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    label_column:
+        Name of the column holding the integer class id (or a class name that
+        appears in ``label_names``' values).
+    feature_columns:
+        Columns to use as features; defaults to every column except the label.
+    delimiter:
+        Field separator.
+    label_names:
+        Optional ``{class id: display name}`` mapping; when the label column
+        contains names, they are mapped back to ids through this dictionary.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"dataset file not found: {path}")
+    name_to_id = {}
+    if label_names:
+        name_to_id = {str(value): int(key) for key, value in label_names.items()}
+
+    features = []
+    labels = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        if reader.fieldnames is None or label_column not in reader.fieldnames:
+            raise DataError(f"CSV file must contain a {label_column!r} column")
+        columns = list(feature_columns) if feature_columns is not None else [
+            name for name in reader.fieldnames if name != label_column
+        ]
+        missing = [c for c in columns if c not in reader.fieldnames]
+        if missing:
+            raise DataError(f"CSV file is missing feature columns: {missing}")
+        for row in reader:
+            raw_label = row[label_column].strip()
+            if raw_label in name_to_id:
+                labels.append(name_to_id[raw_label])
+            else:
+                try:
+                    labels.append(int(float(raw_label)))
+                except ValueError as exc:
+                    raise DataError(
+                        f"label {raw_label!r} is neither an integer nor a known class name"
+                    ) from exc
+            try:
+                features.append([float(row[column]) for column in columns])
+            except ValueError as exc:
+                raise DataError(f"non-numeric feature value in row {reader.line_num}") from exc
+    if not features:
+        raise DataError(f"{path} contains no data rows")
+    return HARDataset(
+        features=np.asarray(features, dtype=np.float64),
+        labels=np.asarray(labels, dtype=np.int64),
+        label_names=dict(label_names or {}),
+    )
+
+
+def save_dataset_csv(dataset: HARDataset, path: PathLike, *, label_column: str = "label") -> Path:
+    """Write a :class:`HARDataset` to a headered CSV file (inverse of :func:`load_dataset_csv`)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns = [f"f{i}" for i in range(dataset.n_features)]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns + [label_column])
+        for row, label in zip(dataset.features, dataset.labels):
+            writer.writerow([f"{value:.10g}" for value in row] + [int(label)])
+    return path

@@ -1,0 +1,27 @@
+"""Edge runtime: device resource model, cloud pre-training, transfer accounting, MAGNETO orchestration.
+
+The paper's MAGNETO platform (Section 3) pre-trains an initial model on the
+cloud and ships it — together with the exemplar support set — to the edge
+device, where all further learning and inference happen without any data going
+back to the cloud.  This package models that pipeline: storage/latency budgets
+(:class:`EdgeDevice`), the cloud side (:class:`CloudServer`), the transfer
+payload and its byte size (:class:`TransferPackage`), end-to-end orchestration
+(:class:`MagnetoPlatform`) and a small profiler used by the Q2 experiments.
+"""
+
+from repro.edge.device import DeviceProfile, EdgeDevice
+from repro.edge.cloud import CloudServer
+from repro.edge.transfer import TransferPackage, package_for_edge
+from repro.edge.magneto import MagnetoPlatform
+from repro.edge.profiler import EdgeProfiler, LatencyReport
+
+__all__ = [
+    "EdgeDevice",
+    "DeviceProfile",
+    "CloudServer",
+    "TransferPackage",
+    "package_for_edge",
+    "MagnetoPlatform",
+    "EdgeProfiler",
+    "LatencyReport",
+]

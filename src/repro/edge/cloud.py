@@ -1,0 +1,48 @@
+"""Cloud-side pre-training service.
+
+In the MAGNETO architecture the cloud's only role is to produce the initial
+model ("warm starting point") and the exemplar support set from the initially
+available activities, and to hand both to the edge device.  No edge data ever
+flows back.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import PiloteConfig
+from repro.core.pilote import PILOTE
+from repro.data.dataset import HARDataset
+from repro.edge.transfer import TransferPackage, package_for_edge
+from repro.nn.trainer import TrainingHistory
+from repro.utils.rng import RandomState
+
+
+class CloudServer:
+    """Pre-trains PILOTE models on the cloud and packages them for the edge."""
+
+    def __init__(self, config: Optional[PiloteConfig] = None, seed: RandomState = None) -> None:
+        self.config = config or PiloteConfig()
+        self._seed = seed
+        self.learner: Optional[PILOTE] = None
+        self.history: Optional[TrainingHistory] = None
+
+    def pretrain(
+        self,
+        train: HARDataset,
+        validation: Optional[HARDataset] = None,
+        *,
+        exemplars_per_class: Optional[int] = None,
+    ) -> PILOTE:
+        """Run cloud pre-training and return the resulting learner."""
+        self.learner = PILOTE(self.config, seed=self._seed)
+        self.history = self.learner.pretrain(
+            train, validation, exemplars_per_class=exemplars_per_class
+        )
+        return self.learner
+
+    def export_package(self) -> TransferPackage:
+        """Package the pre-trained model + support set for transfer to the edge."""
+        if self.learner is None:
+            raise RuntimeError("pretrain() must be called before export_package()")
+        return package_for_edge(self.learner)

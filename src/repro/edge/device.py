@@ -1,0 +1,110 @@
+"""Edge-device resource model.
+
+The Q2 experiments reason about storage budgets ("2500 exemplars in compressed
+format would take 3.2 MB of space", "less than 200 exemplars per class, i.e.
+< 256 KB") and per-epoch latency.  :class:`EdgeDevice` tracks a storage budget
+in bytes and refuses allocations that would exceed it, which lets the
+experiment harness enforce edge constraints explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.exceptions import EdgeResourceError
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static description of an edge device's resources.
+
+    Attributes
+    ----------
+    name:
+        Identifier (e.g. ``"smartphone"``, ``"wearable"``).
+    storage_bytes:
+        Persistent storage available for the model and support set.
+    memory_bytes:
+        Working memory available during training.
+    relative_compute:
+        Compute speed relative to the reference machine running the
+        experiments (1.0 = same speed); used to extrapolate epoch latency.
+    """
+
+    name: str
+    storage_bytes: int
+    memory_bytes: int
+    relative_compute: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.storage_bytes <= 0 or self.memory_bytes <= 0:
+            raise EdgeResourceError("storage and memory budgets must be positive")
+        if self.relative_compute <= 0:
+            raise EdgeResourceError("relative_compute must be positive")
+
+
+#: A handful of representative device profiles used in examples and benchmarks.
+DEVICE_PROFILES: Dict[str, DeviceProfile] = {
+    "smartphone": DeviceProfile("smartphone", storage_bytes=64 * 2**20, memory_bytes=512 * 2**20,
+                                relative_compute=0.5),
+    "wearable": DeviceProfile("wearable", storage_bytes=8 * 2**20, memory_bytes=64 * 2**20,
+                              relative_compute=0.1),
+    "raspberry-pi": DeviceProfile("raspberry-pi", storage_bytes=128 * 2**20, memory_bytes=1024 * 2**20,
+                                  relative_compute=0.3),
+}
+
+
+class EdgeDevice:
+    """A stateful edge device with a storage ledger.
+
+    The device stores named artefacts (model weights, support set, prototypes)
+    and raises :class:`~repro.exceptions.EdgeResourceError` when an allocation
+    would exceed the storage budget — the mechanism by which experiments detect
+    configurations that do not fit the edge.
+    """
+
+    def __init__(self, profile: Optional[DeviceProfile] = None) -> None:
+        self.profile = profile or DEVICE_PROFILES["smartphone"]
+        self._allocations: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def storage_used(self) -> int:
+        return int(sum(self._allocations.values()))
+
+    @property
+    def storage_free(self) -> int:
+        return self.profile.storage_bytes - self.storage_used
+
+    def allocations(self) -> Dict[str, int]:
+        """Copy of the current storage ledger."""
+        return dict(self._allocations)
+
+    # ------------------------------------------------------------------ #
+    def store(self, name: str, nbytes: int) -> None:
+        """Record an artefact of ``nbytes`` bytes; replaces an existing entry."""
+        if nbytes < 0:
+            raise EdgeResourceError(f"artefact size must be non-negative, got {nbytes}")
+        projected = self.storage_used - self._allocations.get(name, 0) + nbytes
+        if projected > self.profile.storage_bytes:
+            raise EdgeResourceError(
+                f"storing {name!r} ({nbytes} B) would exceed the {self.profile.name} "
+                f"storage budget of {self.profile.storage_bytes} B "
+                f"(currently used: {self.storage_used} B)"
+            )
+        self._allocations[name] = int(nbytes)
+
+    def free(self, name: str) -> None:
+        """Remove an artefact from the ledger."""
+        self._allocations.pop(name, None)
+
+    def can_store(self, nbytes: int) -> bool:
+        """Whether an additional artefact of ``nbytes`` would fit."""
+        return nbytes <= self.storage_free
+
+    def estimate_epoch_seconds(self, measured_seconds: float) -> float:
+        """Extrapolate a measured epoch duration to this device's compute speed."""
+        if measured_seconds < 0:
+            raise EdgeResourceError("measured_seconds must be non-negative")
+        return measured_seconds / self.profile.relative_compute

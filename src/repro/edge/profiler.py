@@ -1,0 +1,109 @@
+"""Latency and memory profiling for edge applicability (Q2).
+
+The paper reports that with fewer than 200 exemplars per class PILOTE reaches
+its accuracy "within 20 training epochs, and each epoch costs less than 0.5 s".
+:class:`EdgeProfiler` measures the analogous quantities for this reproduction:
+per-epoch wall-clock time of the incremental update, inference latency per
+window, and the byte footprint of everything the edge stores.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.pilote import PILOTE
+from repro.data.dataset import HARDataset
+from repro.edge.device import DeviceProfile
+from repro.exceptions import NotFittedError
+from repro.nn.trainer import TrainingHistory
+
+
+@dataclass
+class LatencyReport:
+    """Timing and footprint numbers for one incremental update."""
+
+    epochs_run: int
+    total_seconds: float
+    epoch_seconds: List[float] = field(default_factory=list)
+    inference_seconds_per_window: float = 0.0
+    support_set_bytes: int = 0
+    model_bytes: int = 0
+
+    @property
+    def mean_epoch_seconds(self) -> float:
+        return float(np.mean(self.epoch_seconds)) if self.epoch_seconds else 0.0
+
+    @property
+    def max_epoch_seconds(self) -> float:
+        return float(np.max(self.epoch_seconds)) if self.epoch_seconds else 0.0
+
+    def scaled_to(self, profile: DeviceProfile) -> "LatencyReport":
+        """Extrapolate the timings to a slower device profile."""
+        factor = 1.0 / profile.relative_compute
+        return LatencyReport(
+            epochs_run=self.epochs_run,
+            total_seconds=self.total_seconds * factor,
+            epoch_seconds=[value * factor for value in self.epoch_seconds],
+            inference_seconds_per_window=self.inference_seconds_per_window * factor,
+            support_set_bytes=self.support_set_bytes,
+            model_bytes=self.model_bytes,
+        )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "epochs_run": self.epochs_run,
+            "total_seconds": self.total_seconds,
+            "mean_epoch_seconds": self.mean_epoch_seconds,
+            "max_epoch_seconds": self.max_epoch_seconds,
+            "inference_ms_per_window": self.inference_seconds_per_window * 1e3,
+            "support_set_kilobytes": self.support_set_bytes / 1024,
+            "model_kilobytes": self.model_bytes / 1024,
+        }
+
+
+class EdgeProfiler:
+    """Measures incremental-update latency and inference latency of a learner."""
+
+    def __init__(self, inference_batch: int = 256) -> None:
+        if inference_batch <= 0:
+            raise ValueError(f"inference_batch must be positive, got {inference_batch}")
+        self.inference_batch = int(inference_batch)
+
+    def profile_increment(
+        self,
+        learner: PILOTE,
+        new_train: HARDataset,
+        new_validation: Optional[HARDataset] = None,
+        *,
+        inference_data: Optional[HARDataset] = None,
+    ) -> LatencyReport:
+        """Time a full incremental update (and optionally inference afterwards)."""
+        start = time.perf_counter()
+        history: TrainingHistory = learner.learn_new_classes(new_train, new_validation)
+        total = time.perf_counter() - start
+        inference_seconds = 0.0
+        if inference_data is not None and inference_data.n_samples > 0:
+            inference_seconds = self.profile_inference(learner, inference_data)
+        return LatencyReport(
+            epochs_run=history.epochs_run,
+            total_seconds=total,
+            epoch_seconds=list(history.epoch_seconds),
+            inference_seconds_per_window=inference_seconds,
+            support_set_bytes=learner.support_set_nbytes(),
+            model_bytes=learner.model_nbytes(),
+        )
+
+    def profile_inference(self, learner: PILOTE, dataset: HARDataset) -> float:
+        """Mean prediction latency per window (seconds)."""
+        if not learner.is_pretrained:
+            raise NotFittedError("the learner must be trained before profiling inference")
+        take = min(self.inference_batch, dataset.n_samples)
+        features = dataset.features[:take]
+        start = time.perf_counter()
+        learner.predict(features)
+        elapsed = time.perf_counter() - start
+        return elapsed / take

@@ -1,0 +1,75 @@
+"""Cloud → edge transfer packaging and byte-size accounting.
+
+What crosses the network exactly once in the MAGNETO pipeline is: the
+pre-trained model parameters, the exemplar support set, and the class
+prototypes.  :class:`TransferPackage` carries those pieces together with their
+float32-serialised sizes, which is the quantity the paper's Q2 analysis uses
+("e.g., 2500 exemplars in compressed format would take 3.2 MB of space").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.pilote import PILOTE
+from repro.exceptions import NotFittedError
+
+
+@dataclass
+class TransferPackage:
+    """Everything the edge needs to start from the cloud's warm start."""
+
+    model_state: Dict[str, np.ndarray]
+    exemplar_features: Dict[int, np.ndarray]
+    prototypes: Dict[int, np.ndarray]
+    model_bytes: int
+    support_set_bytes: int
+    prototype_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.model_bytes + self.support_set_bytes + self.prototype_bytes
+
+    def summary(self) -> Dict[str, float]:
+        """Sizes in bytes and megabytes for reporting."""
+        return {
+            "model_bytes": self.model_bytes,
+            "support_set_bytes": self.support_set_bytes,
+            "prototype_bytes": self.prototype_bytes,
+            "total_bytes": self.total_bytes,
+            "total_megabytes": self.total_bytes / 2**20,
+        }
+
+
+def package_for_edge(learner: PILOTE) -> TransferPackage:
+    """Build a :class:`TransferPackage` from a pre-trained PILOTE learner."""
+    if not learner.is_pretrained:
+        raise NotFittedError("the learner must be pre-trained before packaging")
+    exemplar_features = {
+        class_id: learner.exemplars.get(class_id) for class_id in learner.exemplars.classes
+    }
+    prototypes = {
+        class_id: learner.prototypes.get(class_id) for class_id in learner.prototypes.classes
+    }
+    return TransferPackage(
+        model_state=learner.model.state_dict(),
+        exemplar_features=exemplar_features,
+        prototypes=prototypes,
+        model_bytes=learner.model_nbytes(),
+        support_set_bytes=learner.support_set_nbytes(),
+        prototype_bytes=learner.prototypes.nbytes(),
+    )
+
+
+def exemplar_storage_bytes(n_exemplars: int, n_features: int, dtype_bytes: int = 4) -> int:
+    """Bytes needed to store ``n_exemplars`` feature vectors as float32.
+
+    This is the formula behind the paper's support-set size statements
+    (200 exemplars/class × 4 classes × 80 features × 4 B ≈ 256 KB).
+    """
+    if n_exemplars < 0 or n_features <= 0 or dtype_bytes <= 0:
+        raise ValueError("n_exemplars, n_features and dtype_bytes must be positive")
+    return int(n_exemplars) * int(n_features) * int(dtype_bytes)

@@ -1,0 +1,15 @@
+"""Evaluation harness: the paper's repeated-rounds protocol, scenario runners and result tables."""
+
+from repro.evaluation.protocol import AggregateResult, RepeatedRounds, aggregate_values
+from repro.evaluation.results import MethodResult, ResultTable
+from repro.evaluation.runner import ComparisonResult, ExperimentRunner
+
+__all__ = [
+    "RepeatedRounds",
+    "AggregateResult",
+    "aggregate_values",
+    "ResultTable",
+    "MethodResult",
+    "ExperimentRunner",
+    "ComparisonResult",
+]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro (PILOTE reproduction) library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object holds invalid or inconsistent values."""
+
+
+class DataError(ReproError):
+    """Raised when input data is malformed (wrong shape, dtype, empty, ...)."""
+
+
+class NotFittedError(ReproError):
+    """Raised when a model is used for prediction before being trained."""
+
+
+class GradientError(ReproError):
+    """Raised when the autodiff engine detects an invalid backward pass."""
+
+
+class ShapeError(DataError):
+    """Raised when array shapes are incompatible with the requested operation."""
+
+
+class EdgeResourceError(ReproError):
+    """Raised when an operation would exceed an edge device's resource budget."""
+
+
+class SerializationError(ReproError):
+    """Raised when a model or dataset cannot be saved or restored."""

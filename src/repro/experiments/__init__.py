@@ -1,0 +1,34 @@
+"""Reproductions of every table and figure in the paper's evaluation section.
+
+Each sub-module exposes a ``run(settings)`` function returning a result object
+with the rows/series the paper reports plus a ``to_text()`` rendering; the
+benchmarks under ``benchmarks/`` simply time those functions and print the
+result.  :class:`~repro.experiments.common.ExperimentSettings` controls the
+scale (synthetic dataset size, backbone size, number of rounds) so the same
+code serves quick CI runs and paper-scale reproductions.
+"""
+
+from repro.experiments.common import ExperimentSettings, make_dataset
+from repro.experiments import (
+    ablations,
+    edge_resources,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    multi_increment,
+    table2,
+)
+
+__all__ = [
+    "ExperimentSettings",
+    "make_dataset",
+    "table2",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "ablations",
+    "edge_resources",
+    "multi_increment",
+]

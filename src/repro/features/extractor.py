@@ -1,0 +1,116 @@
+"""The paper's statistical feature extractor.
+
+With the default 22-channel sensor layout (six three-axis sensors plus four
+scalar channels, see :mod:`repro.data.sensors`), the extractor produces exactly
+80 features per one-second window:
+
+* mean of every channel ........................... 22
+* variance of every channel ....................... 22
+* jerk mean / jerk variance per triaxial sensor .... 12
+* jerk-magnitude mean / variance per triaxial ...... 12
+* magnitude mean / variance per triaxial sensor .... 12
+
+Total: 80.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.features.registry import FeatureRegistry
+from repro.features.statistical import (
+    channel_means,
+    channel_variances,
+    triaxial_jerk_statistics,
+    triaxial_magnitude_statistics,
+)
+from repro.utils.validation import check_array
+
+
+class StatisticalFeatureExtractor:
+    """Window-level statistical feature extraction (linear time).
+
+    Parameters
+    ----------
+    triaxial_groups:
+        Channel-index triples identifying three-axis sensors (accelerometer,
+        gyroscope, ...).  Jerk and magnitude statistics are computed per group.
+    sampling_rate_hz:
+        Sampling rate used to scale the jerk to physical units.
+    extra_registry:
+        Optional :class:`FeatureRegistry` with additional feature blocks that
+        are appended after the standard 80 statistical features.
+    """
+
+    def __init__(
+        self,
+        triaxial_groups: Sequence[Tuple[int, int, int]],
+        sampling_rate_hz: float = 120.0,
+        extra_registry: Optional[FeatureRegistry] = None,
+    ) -> None:
+        if sampling_rate_hz <= 0:
+            raise DataError(f"sampling_rate_hz must be positive, got {sampling_rate_hz}")
+        self.triaxial_groups = [tuple(int(i) for i in group) for group in triaxial_groups]
+        for group in self.triaxial_groups:
+            if len(group) != 3:
+                raise DataError(f"triaxial groups must have exactly 3 channels, got {group}")
+        self.sampling_rate_hz = float(sampling_rate_hz)
+        self.extra_registry = extra_registry
+
+    # ------------------------------------------------------------------ #
+    def transform(self, windows: np.ndarray) -> np.ndarray:
+        """Map a window batch ``(n, time, channels)`` to a feature matrix ``(n, d)``."""
+        windows = check_array(windows, name="windows")
+        if windows.ndim == 2:
+            windows = windows[None, :, :]
+        if windows.ndim != 3:
+            raise DataError(
+                f"expected windows of shape (n, time, channels), got {windows.shape}"
+            )
+        n_channels = windows.shape[2]
+        for group in self.triaxial_groups:
+            if max(group) >= n_channels:
+                raise DataError(
+                    f"triaxial group {group} references channel beyond the "
+                    f"{n_channels} available channels"
+                )
+        blocks = [
+            channel_means(windows),
+            channel_variances(windows),
+            triaxial_jerk_statistics(
+                windows, self.triaxial_groups, sampling_rate_hz=self.sampling_rate_hz
+            ),
+            triaxial_magnitude_statistics(windows, self.triaxial_groups),
+        ]
+        features = np.concatenate(blocks, axis=1)
+        if self.extra_registry is not None and len(self.extra_registry) > 0:
+            features = np.concatenate([features, self.extra_registry.compute(windows)], axis=1)
+        return features
+
+    __call__ = transform
+
+    # ------------------------------------------------------------------ #
+    def feature_names(self, n_channels: int) -> List[str]:
+        """Human-readable names of the produced features, in column order."""
+        names = [f"mean_ch{c}" for c in range(n_channels)]
+        names += [f"var_ch{c}" for c in range(n_channels)]
+        for index, group in enumerate(self.triaxial_groups):
+            names += [
+                f"jerk_mean_tri{index}",
+                f"jerk_var_tri{index}",
+                f"jerk_mag_mean_tri{index}",
+                f"jerk_mag_var_tri{index}",
+            ]
+        for index in range(len(self.triaxial_groups)):
+            names += [f"mag_mean_tri{index}", f"mag_var_tri{index}"]
+        if self.extra_registry is not None:
+            names += [f"extra_{name}" for name in self.extra_registry.names()]
+        return names
+
+    def n_features(self, n_channels: int) -> int:
+        """Number of features produced for a given channel count."""
+        base = 2 * n_channels + 6 * len(self.triaxial_groups)
+        return base

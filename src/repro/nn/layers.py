@@ -1,0 +1,244 @@
+"""Layers used by the PILOTE backbone: Linear, BatchNorm1d, ReLU, Dropout, Sequential."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.exceptions import ShapeError
+from repro.nn.init import he_uniform, zeros_init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import RandomState, resolve_rng
+
+
+class Linear(Module):
+    """Fully connected layer computing ``y = x W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionalities.
+    bias:
+        Whether to add a learned bias term.
+    rng:
+        Seed or generator for weight initialisation (He uniform).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: RandomState = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ShapeError(
+                f"Linear layer dimensions must be positive, got {in_features}x{out_features}"
+            )
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight = Parameter(he_uniform((in_features, out_features), rng=rng), name="weight")
+        self.bias = Parameter(zeros_init((out_features,)), name="bias") if bias else None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        inputs = inputs if isinstance(inputs, Tensor) else Tensor(inputs)
+        if inputs.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"Linear expected input with {self.in_features} features, got {inputs.shape}"
+            )
+        output = inputs @ self.weight
+        if self.bias is not None:
+            output = output + self.bias
+        return output
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.sigmoid()
+
+    def __repr__(self) -> str:
+        return "Sigmoid()"
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Identity(Module):
+    """Pass-through layer (useful as a configurable no-op)."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs
+
+    def __repr__(self) -> str:
+        return "Identity()"
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.5, rng: RandomState = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = resolve_rng(rng)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return inputs
+        keep = 1.0 - self.p
+        mask = (self._rng.random(inputs.shape) < keep).astype(np.float64) / keep
+        return inputs * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the feature dimension of ``(batch, features)`` inputs.
+
+    Uses batch statistics during training (with running-average tracking) and
+    the tracked statistics at evaluation time, mirroring torch's semantics.
+    """
+
+    def __init__(self, num_features: int, momentum: float = 0.1, epsilon: float = 1e-5) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ShapeError(f"num_features must be positive, got {num_features}")
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.epsilon = float(epsilon)
+        self.gamma = Parameter(np.ones(num_features), name="gamma")
+        self.beta = Parameter(np.zeros(num_features), name="beta")
+        self.register_buffer("running_mean", np.zeros(num_features))
+        self.register_buffer("running_var", np.ones(num_features))
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        inputs = inputs if isinstance(inputs, Tensor) else Tensor(inputs)
+        if inputs.ndim != 2 or inputs.shape[1] != self.num_features:
+            raise ShapeError(
+                f"BatchNorm1d expected (batch, {self.num_features}) input, got {inputs.shape}"
+            )
+        if self.training and inputs.shape[0] > 1:
+            mean = inputs.mean(axis=0, keepdims=True)
+            centred = inputs - mean
+            variance = (centred * centred).mean(axis=0, keepdims=True)
+            normalised = centred / (variance + self.epsilon).sqrt()
+            self._update_running(mean.data.reshape(-1), variance.data.reshape(-1), inputs.shape[0])
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1))
+            variance = Tensor(self.running_var.reshape(1, -1))
+            normalised = (inputs - mean) / (variance + self.epsilon).sqrt()
+        return normalised * self.gamma + self.beta
+
+    def _update_running(self, batch_mean: np.ndarray, batch_var: np.ndarray, batch_size: int) -> None:
+        momentum = self.momentum
+        unbiased_var = batch_var * batch_size / max(batch_size - 1, 1)
+        new_mean = (1.0 - momentum) * self.running_mean + momentum * batch_mean
+        new_var = (1.0 - momentum) * self.running_var + momentum * unbiased_var
+        self.update_buffer("running_mean", new_mean)
+        self.update_buffer("running_var", new_var)
+
+    def __repr__(self) -> str:
+        return f"BatchNorm1d({self.num_features}, momentum={self.momentum})"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self._layer_names: List[str] = []
+        for index, layer in enumerate(layers):
+            name = f"layer{index}"
+            setattr(self, name, layer)
+            self._layer_names.append(name)
+
+    @property
+    def layers(self) -> List[Module]:
+        return [getattr(self, name) for name in self._layer_names]
+
+    def append(self, layer: Module) -> "Sequential":
+        """Add a layer at the end of the chain."""
+        name = f"layer{len(self._layer_names)}"
+        setattr(self, name, layer)
+        self._layer_names.append(name)
+        return self
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs
+        for layer in self.layers:
+            output = layer(output)
+        return output
+
+    def __len__(self) -> int:
+        return len(self._layer_names)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(layer) for layer in self.layers)
+        return f"Sequential({inner})"
+
+
+def build_mlp(
+    layer_sizes: Sequence[int],
+    *,
+    batch_norm: bool = True,
+    activation: str = "relu",
+    final_activation: Optional[str] = None,
+    dropout: float = 0.0,
+    rng: RandomState = None,
+) -> Sequential:
+    """Construct a fully connected network from a list of layer widths.
+
+    ``layer_sizes = [in, h1, ..., out]`` produces ``len(layer_sizes) - 1``
+    linear layers.  Batch normalisation and the activation are applied after
+    every layer except the last, matching the paper's backbone description
+    (BatchNorm + ReLU on the first four layers, linear projection at the end).
+    """
+    if len(layer_sizes) < 2:
+        raise ShapeError("build_mlp requires at least an input and an output size")
+    activations = {"relu": ReLU, "sigmoid": Sigmoid, "tanh": Tanh, "identity": Identity}
+    if activation not in activations:
+        raise ValueError(f"unknown activation {activation!r}; choose from {sorted(activations)}")
+    generator = resolve_rng(rng)
+    model = Sequential()
+    last_index = len(layer_sizes) - 2
+    for index, (fan_in, fan_out) in enumerate(zip(layer_sizes[:-1], layer_sizes[1:])):
+        model.append(Linear(fan_in, fan_out, rng=generator))
+        if index < last_index:
+            if batch_norm:
+                model.append(BatchNorm1d(fan_out))
+            model.append(activations[activation]())
+            if dropout > 0.0:
+                model.append(Dropout(dropout, rng=generator))
+        elif final_activation is not None:
+            model.append(activations[final_activation]())
+    return model

@@ -1,0 +1,219 @@
+"""Loss functions.
+
+The two losses at the heart of PILOTE are implemented here:
+
+* :class:`ContrastiveLoss` — the supervised contrastive loss with margin from
+  Eq. (2) of the paper, applied to pairs of embeddings produced by the shared
+  Siamese backbone.
+* :class:`DistillationLoss` — the feature-space distillation term of
+  Algorithm 1 (line 11), penalising movement of old-class exemplar embeddings
+  away from the embeddings produced by the frozen pre-trained model.
+
+:class:`JointIncrementalLoss` combines them with the balancing weight ``α``
+(``L = α · L_disti + (1 − α) · L_contra``).  Cross-entropy and logit
+distillation are provided for the classifier-head baselines (LwF, iCaRL,
+fine-tuning, GDumb, EWC).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor
+from repro.exceptions import ShapeError
+from repro.nn.module import Module
+from repro.utils.validation import check_probability
+
+
+class ContrastiveLoss(Module):
+    """Supervised contrastive loss with margin (paper Eq. 2).
+
+    For a pair of embeddings ``(e_i, e_j)`` with pair label ``Y`` (1 when the
+    two samples share a class, 0 otherwise), the per-pair loss is::
+
+        Y * d^2 + (1 - Y) * max(0, m^2 - d^2)          (squared-margin form)
+
+    where ``d = ||e_i - e_j||``.  The classic Hadsell et al. form
+    ``(1 - Y) * max(0, m - d)^2`` is available via ``variant="hadsell"``.
+
+    Parameters
+    ----------
+    margin:
+        The margin ``m`` separating dissimilar pairs.
+    variant:
+        ``"squared"`` (paper Eq. 2, default) or ``"hadsell"``.
+    reduction:
+        ``"mean"`` or ``"sum"`` over pairs.
+    """
+
+    def __init__(self, margin: float = 1.0, variant: str = "squared", reduction: str = "mean") -> None:
+        super().__init__()
+        if margin <= 0:
+            raise ValueError(f"margin must be positive, got {margin}")
+        if variant not in ("squared", "hadsell"):
+            raise ValueError(f"variant must be 'squared' or 'hadsell', got {variant!r}")
+        if reduction not in ("mean", "sum"):
+            raise ValueError(f"reduction must be 'mean' or 'sum', got {reduction!r}")
+        self.margin = float(margin)
+        self.variant = variant
+        self.reduction = reduction
+
+    def forward(self, left: Tensor, right: Tensor, same_class) -> Tensor:
+        """Compute the loss for row-aligned embedding pairs.
+
+        Parameters
+        ----------
+        left, right:
+            ``(n_pairs, embedding_dim)`` embeddings from the Siamese branches.
+        same_class:
+            Array-like of ``n_pairs`` binary indicators (1 = same class).
+        """
+        if left.shape != right.shape:
+            raise ShapeError(f"pair embeddings must share a shape, got {left.shape} vs {right.shape}")
+        labels = np.asarray(
+            same_class.data if isinstance(same_class, Tensor) else same_class, dtype=np.float64
+        ).reshape(-1)
+        if labels.shape[0] != left.shape[0]:
+            raise ShapeError(
+                f"expected {left.shape[0]} pair labels, got {labels.shape[0]}"
+            )
+        y = Tensor(labels)
+        squared_distance = ops.pairwise_squared_distance(left, right)
+        if self.variant == "squared":
+            dissimilar = (Tensor(self.margin**2) - squared_distance).clamp_min(0.0)
+        else:
+            distance = (squared_distance + 1e-12).sqrt()
+            hinge = (Tensor(self.margin) - distance).clamp_min(0.0)
+            dissimilar = hinge * hinge
+        per_pair = y * squared_distance + (Tensor(1.0) - y) * dissimilar
+        return per_pair.mean() if self.reduction == "mean" else per_pair.sum()
+
+
+class DistillationLoss(Module):
+    """Feature-space distillation loss (Algorithm 1, line 11).
+
+    Penalises the squared Euclidean distance between the embeddings of
+    old-class exemplars under the updated model and under the frozen
+    pre-trained model: ``Σ ||φ_new(x) − φ_old(x)||²``.
+    """
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        if reduction not in ("mean", "sum"):
+            raise ValueError(f"reduction must be 'mean' or 'sum', got {reduction!r}")
+        self.reduction = reduction
+
+    def forward(self, new_embeddings: Tensor, old_embeddings: Tensor) -> Tensor:
+        """``new_embeddings`` carries gradient; ``old_embeddings`` is treated as constant."""
+        old = old_embeddings.detach() if isinstance(old_embeddings, Tensor) else Tensor(old_embeddings)
+        if new_embeddings.shape != old.shape:
+            raise ShapeError(
+                "distillation requires matching embedding shapes, got "
+                f"{new_embeddings.shape} vs {old.shape}"
+            )
+        squared = ops.pairwise_squared_distance(new_embeddings, old)
+        return squared.mean() if self.reduction == "mean" else squared.sum()
+
+
+class JointIncrementalLoss(Module):
+    """PILOTE's joint objective ``α · L_disti + (1 − α) · L_contra``."""
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        margin: float = 1.0,
+        contrastive_variant: str = "squared",
+    ) -> None:
+        super().__init__()
+        self.alpha = check_probability(alpha, name="alpha")
+        self.contrastive = ContrastiveLoss(margin=margin, variant=contrastive_variant)
+        self.distillation = DistillationLoss()
+
+    def forward(
+        self,
+        pair_left: Tensor,
+        pair_right: Tensor,
+        same_class,
+        new_exemplar_embeddings: Optional[Tensor] = None,
+        old_exemplar_embeddings: Optional[Tensor] = None,
+    ) -> Tensor:
+        """Combine the contrastive and distillation terms.
+
+        The distillation term is skipped (treated as zero) when no exemplar
+        embeddings are provided, which reduces the objective to pure
+        contrastive learning — exactly the behaviour used during cloud
+        pre-training and by the *Re-trained* baseline.
+        """
+        contrastive = self.contrastive(pair_left, pair_right, same_class)
+        if (
+            new_exemplar_embeddings is None
+            or old_exemplar_embeddings is None
+            or self.alpha == 0.0
+        ):
+            return contrastive * (1.0 - self.alpha) if self.alpha > 0 else contrastive
+        distillation = self.distillation(new_exemplar_embeddings, old_exemplar_embeddings)
+        return distillation * self.alpha + contrastive * (1.0 - self.alpha)
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy against integer class labels."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        if reduction not in ("mean", "sum"):
+            raise ValueError(f"reduction must be 'mean' or 'sum', got {reduction!r}")
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, labels) -> Tensor:
+        labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+        if logits.ndim != 2:
+            raise ShapeError(f"logits must be 2-D (batch, classes), got {logits.shape}")
+        if labels.shape[0] != logits.shape[0]:
+            raise ShapeError(
+                f"expected {logits.shape[0]} labels, got {labels.shape[0]}"
+            )
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise ShapeError(
+                f"labels must be in [0, {logits.shape[1] - 1}], got range "
+                f"[{labels.min()}, {labels.max()}]"
+            )
+        log_probabilities = ops.log_softmax(logits, axis=1)
+        picked = log_probabilities[np.arange(labels.shape[0]), labels]
+        loss = -picked
+        return loss.mean() if self.reduction == "mean" else loss.sum()
+
+
+class LogitDistillationLoss(Module):
+    """Hinton-style knowledge distillation on classifier logits.
+
+    Used by the LwF and iCaRL baselines: the new model's (temperature-scaled)
+    probabilities on old classes are pulled towards those of the old model.
+    """
+
+    def __init__(self, temperature: float = 2.0) -> None:
+        super().__init__()
+        if temperature <= 0:
+            raise ValueError(f"temperature must be positive, got {temperature}")
+        self.temperature = float(temperature)
+
+    def forward(self, new_logits: Tensor, old_logits: Tensor) -> Tensor:
+        old = old_logits.detach() if isinstance(old_logits, Tensor) else Tensor(old_logits)
+        if new_logits.shape != old.shape:
+            raise ShapeError(
+                f"logit shapes must match, got {new_logits.shape} vs {old.shape}"
+            )
+        temperature = self.temperature
+        new_log_probs = ops.log_softmax(new_logits * (1.0 / temperature), axis=1)
+        old_probs = ops.softmax(Tensor(old.data * (1.0 / temperature)), axis=1)
+        per_sample = -(Tensor(old_probs.data) * new_log_probs).sum(axis=1)
+        return per_sample.mean()
+
+
+class MSELoss(Module):
+    """Mean squared error (targets treated as constants)."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        return ops.mean_squared_error(prediction, target if isinstance(target, Tensor) else Tensor(target))

@@ -1,0 +1,195 @@
+"""Generic training loop with the paper's early-stopping rule.
+
+The paper stops training "when the difference of validation loss between
+epochs is less than a small threshold, 0.0001 for five consecutive steps";
+:class:`EarlyStopping` implements exactly that criterion (plus an optional
+patience-on-increase mode used by some baselines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.nn.schedulers import LRScheduler
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState, resolve_rng
+
+logger = get_logger("nn.trainer")
+
+
+class EarlyStopping:
+    """Plateau-based early stopping.
+
+    Training stops once the absolute change in validation loss stays below
+    ``threshold`` for ``patience`` consecutive epochs (the paper's rule), or —
+    when ``mode="increase"`` — once the loss has not improved for ``patience``
+    epochs.
+    """
+
+    def __init__(self, threshold: float = 1e-4, patience: int = 5, mode: str = "plateau") -> None:
+        if patience <= 0:
+            raise ValueError(f"patience must be positive, got {patience}")
+        if mode not in ("plateau", "increase"):
+            raise ValueError(f"mode must be 'plateau' or 'increase', got {mode!r}")
+        self.threshold = float(threshold)
+        self.patience = int(patience)
+        self.mode = mode
+        self._previous: Optional[float] = None
+        self._best: float = np.inf
+        self._streak = 0
+
+    def update(self, validation_loss: float) -> bool:
+        """Record a new validation loss; return ``True`` when training should stop."""
+        loss = float(validation_loss)
+        if self.mode == "plateau":
+            if self._previous is not None and abs(self._previous - loss) < self.threshold:
+                self._streak += 1
+            else:
+                self._streak = 0
+            self._previous = loss
+        else:
+            if loss < self._best - self.threshold:
+                self._best = loss
+                self._streak = 0
+            else:
+                self._streak += 1
+        return self._streak >= self.patience
+
+    def reset(self) -> None:
+        """Clear the internal state so the object can be reused."""
+        self._previous = None
+        self._best = np.inf
+        self._streak = 0
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a training run."""
+
+    train_losses: List[float] = field(default_factory=list)
+    validation_losses: List[float] = field(default_factory=list)
+    learning_rates: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_losses)
+
+    def final_train_loss(self) -> float:
+        return self.train_losses[-1] if self.train_losses else float("nan")
+
+    def final_validation_loss(self) -> float:
+        return self.validation_losses[-1] if self.validation_losses else float("nan")
+
+
+BatchLossFn = Callable[[np.ndarray, np.ndarray], Tensor]
+
+
+class Trainer:
+    """Mini-batch gradient-descent driver.
+
+    The trainer is loss-agnostic: the caller supplies ``batch_loss``, a
+    function mapping a mini-batch ``(X, y)`` to a scalar loss tensor.  This is
+    what lets the same loop serve the Siamese contrastive objective, the joint
+    PILOTE objective and the cross-entropy baselines.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        *,
+        scheduler: Optional[LRScheduler] = None,
+        early_stopping: Optional[EarlyStopping] = None,
+        max_epochs: int = 50,
+        batch_size: int = 64,
+        rng: RandomState = None,
+    ) -> None:
+        if max_epochs <= 0:
+            raise ValueError(f"max_epochs must be positive, got {max_epochs}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.model = model
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.early_stopping = early_stopping
+        self.max_epochs = int(max_epochs)
+        self.batch_size = int(batch_size)
+        self._rng = resolve_rng(rng)
+
+    def iterate_minibatches(
+        self, features: np.ndarray, labels: np.ndarray, shuffle: bool = True
+    ) -> Iterable[Tuple[np.ndarray, np.ndarray]]:
+        """Yield mini-batches of ``(features, labels)``."""
+        count = features.shape[0]
+        order = self._rng.permutation(count) if shuffle else np.arange(count)
+        for start in range(0, count, self.batch_size):
+            index = order[start:start + self.batch_size]
+            yield features[index], labels[index]
+
+    def fit(
+        self,
+        batch_loss: BatchLossFn,
+        features: np.ndarray,
+        labels: np.ndarray,
+        *,
+        validation: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        validation_loss: Optional[BatchLossFn] = None,
+    ) -> TrainingHistory:
+        """Run the optimisation loop.
+
+        Parameters
+        ----------
+        batch_loss:
+            Maps a mini-batch to a scalar :class:`Tensor` loss (gradients flow
+            through the model captured in its closure).
+        features, labels:
+            Training arrays; batching and shuffling are handled here.
+        validation:
+            Optional ``(X_val, y_val)`` used for early stopping.
+        validation_loss:
+            Loss to evaluate on the validation split; defaults to ``batch_loss``.
+        """
+        import time
+
+        history = TrainingHistory()
+        evaluate = validation_loss or batch_loss
+        if self.early_stopping is not None:
+            self.early_stopping.reset()
+        for epoch in range(self.max_epochs):
+            start_time = time.perf_counter()
+            self.model.train()
+            epoch_losses = []
+            for batch_features, batch_labels in self.iterate_minibatches(features, labels):
+                if batch_features.shape[0] < 2:
+                    continue  # BatchNorm and pair sampling need at least two samples.
+                self.optimizer.zero_grad()
+                loss = batch_loss(batch_features, batch_labels)
+                loss.backward()
+                self.optimizer.step()
+                epoch_losses.append(float(loss.data))
+            train_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+            history.train_losses.append(train_loss)
+            history.learning_rates.append(self.optimizer.lr)
+            history.epoch_seconds.append(time.perf_counter() - start_time)
+
+            if validation is not None:
+                self.model.eval()
+                val_features, val_labels = validation
+                val_loss = float(evaluate(val_features, val_labels).data)
+                history.validation_losses.append(val_loss)
+                if self.early_stopping is not None and self.early_stopping.update(val_loss):
+                    history.stopped_early = True
+                    logger.debug("early stopping at epoch %d (val loss %.6f)", epoch + 1, val_loss)
+                    break
+            if self.scheduler is not None:
+                self.scheduler.step()
+        self.model.eval()
+        return history

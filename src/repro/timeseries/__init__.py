@@ -1,0 +1,28 @@
+"""Multivariate time-series preprocessing.
+
+The paper's preprocessing pipeline (Section 5, Figure 3) — denoising,
+segmentation into one-second windows and normalisation — is implemented here
+with linear-time operations so that it can run identically on the cloud and on
+the edge device.
+"""
+
+from repro.timeseries.window import segment_windows, sliding_windows
+from repro.timeseries.denoise import denoise, low_pass_filter, median_filter, moving_average
+from repro.timeseries.normalize import min_max_scale, per_window_normalize, z_score
+from repro.timeseries.jerk import jerk, jerk_magnitude
+from repro.timeseries.resample import linear_resample
+
+__all__ = [
+    "segment_windows",
+    "sliding_windows",
+    "denoise",
+    "moving_average",
+    "median_filter",
+    "low_pass_filter",
+    "z_score",
+    "min_max_scale",
+    "per_window_normalize",
+    "jerk",
+    "jerk_magnitude",
+    "linear_resample",
+]

@@ -1,0 +1,47 @@
+"""Resampling of sensor streams to a common rate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.utils.validation import check_array
+
+
+def linear_resample(stream: np.ndarray, target_length: int) -> np.ndarray:
+    """Linearly interpolate a ``(time, channels)`` stream to ``target_length`` samples.
+
+    Used to align sensors reporting at slightly different rates onto the
+    nominal 120 Hz grid before windowing.
+    """
+    stream = check_array(stream, name="stream")
+    if target_length <= 1:
+        raise DataError(f"target_length must be at least 2, got {target_length}")
+    original_ndim = stream.ndim
+    if original_ndim == 1:
+        stream = stream[:, None]
+    source_length = stream.shape[0]
+    if source_length < 2:
+        raise DataError("stream must contain at least two samples to resample")
+    source_positions = np.linspace(0.0, 1.0, source_length)
+    target_positions = np.linspace(0.0, 1.0, target_length)
+    resampled = np.stack(
+        [
+            np.interp(target_positions, source_positions, stream[:, channel])
+            for channel in range(stream.shape[1])
+        ],
+        axis=1,
+    )
+    return resampled[:, 0] if original_ndim == 1 else resampled
+
+
+def resample_to_rate(
+    stream: np.ndarray, source_rate_hz: float, target_rate_hz: float
+) -> np.ndarray:
+    """Resample a stream recorded at ``source_rate_hz`` to ``target_rate_hz``."""
+    if source_rate_hz <= 0 or target_rate_hz <= 0:
+        raise DataError("sampling rates must be positive")
+    stream = check_array(stream, name="stream")
+    length = stream.shape[0]
+    target_length = max(int(round(length * target_rate_hz / source_rate_hz)), 2)
+    return linear_resample(stream, target_length)

@@ -1,0 +1,91 @@
+"""Segmentation of continuous sensor streams into fixed-length windows.
+
+The paper splits the sensory data into one-second recording windows of roughly
+120 sequential measurements across 22 sensors.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import DataError, ShapeError
+from repro.utils.validation import check_array
+
+
+def segment_windows(
+    stream: np.ndarray,
+    window_length: int,
+    *,
+    drop_last: bool = True,
+) -> np.ndarray:
+    """Split a ``(time, channels)`` stream into non-overlapping windows.
+
+    Parameters
+    ----------
+    stream:
+        Continuous recording of shape ``(time, channels)``.
+    window_length:
+        Number of consecutive measurements per window (≈ 120 at 120 Hz for the
+        one-second windows used by the paper).
+    drop_last:
+        Drop the final, incomplete window (default) instead of raising.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(n_windows, window_length, channels)``.
+    """
+    stream = check_array(stream, name="stream", ndim=2)
+    if window_length <= 0:
+        raise DataError(f"window_length must be positive, got {window_length}")
+    total = stream.shape[0]
+    n_windows = total // window_length
+    if n_windows == 0:
+        raise DataError(
+            f"stream of length {total} is shorter than one window ({window_length})"
+        )
+    if not drop_last and total % window_length != 0:
+        raise DataError(
+            f"stream length {total} is not a multiple of window_length {window_length}"
+        )
+    usable = n_windows * window_length
+    return stream[:usable].reshape(n_windows, window_length, stream.shape[1])
+
+
+def sliding_windows(
+    stream: np.ndarray,
+    window_length: int,
+    step: int,
+) -> np.ndarray:
+    """Split a ``(time, channels)`` stream into overlapping windows with ``step`` stride."""
+    stream = check_array(stream, name="stream", ndim=2)
+    if window_length <= 0 or step <= 0:
+        raise DataError(
+            f"window_length and step must be positive, got {window_length} and {step}"
+        )
+    total = stream.shape[0]
+    if total < window_length:
+        raise DataError(
+            f"stream of length {total} is shorter than one window ({window_length})"
+        )
+    starts = range(0, total - window_length + 1, step)
+    return np.stack([stream[s:s + window_length] for s in starts], axis=0)
+
+
+def windows_per_second(sampling_rate_hz: float, window_seconds: float = 1.0) -> int:
+    """Number of measurements in a window of ``window_seconds`` at a sampling rate."""
+    if sampling_rate_hz <= 0 or window_seconds <= 0:
+        raise DataError("sampling rate and window duration must be positive")
+    return int(round(sampling_rate_hz * window_seconds))
+
+
+def validate_window_batch(windows: np.ndarray) -> Tuple[int, int, int]:
+    """Check a ``(n_windows, window_length, channels)`` batch and return its shape."""
+    windows = np.asarray(windows)
+    if windows.ndim != 3:
+        raise ShapeError(
+            f"expected a 3-D (windows, time, channels) array, got shape {windows.shape}"
+        )
+    return windows.shape

@@ -1,0 +1,51 @@
+"""CSV export of experiment tables and series."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.exceptions import DataError
+
+PathLike = Union[str, Path]
+
+
+def export_table_csv(path: PathLike, rows: List[Dict[str, object]]) -> Path:
+    """Write a list of homogeneous dictionaries as a CSV table."""
+    if not rows:
+        raise DataError("rows must not be empty")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames = list(rows[0].keys())
+    for row in rows:
+        if list(row.keys()) != fieldnames:
+            raise DataError("all rows must share the same keys, in the same order")
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def export_series_csv(
+    path: PathLike,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    x_name: str = "x",
+) -> Path:
+    """Write named series sharing an x axis as a wide CSV."""
+    if not series:
+        raise DataError("series must not be empty")
+    x_values = list(x_values)
+    for name, values in series.items():
+        if len(list(values)) != len(x_values):
+            raise DataError(f"series {name!r} length does not match the x axis")
+    rows = []
+    for index, x in enumerate(x_values):
+        row: Dict[str, object] = {x_name: x}
+        for name, values in series.items():
+            row[name] = list(values)[index]
+        rows.append(row)
+    return export_table_csv(path, rows)

@@ -1,0 +1,47 @@
+"""Dimensionality reduction for embedding-space visualisation (Figure 5).
+
+A plain PCA (via SVD) projects the 128-dimensional embeddings onto two
+components; together with per-class separation metrics this is the library's
+plotting-free stand-in for the paper's t-SNE style figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+def pca_project(data: np.ndarray, n_components: int = 2) -> Tuple[np.ndarray, np.ndarray]:
+    """Project ``data`` onto its top principal components.
+
+    Returns ``(projected, explained_variance_ratio)``.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise DataError(f"data must be 2-D, got shape {data.shape}")
+    if n_components <= 0 or n_components > min(data.shape):
+        raise DataError(
+            f"n_components must be in [1, {min(data.shape)}], got {n_components}"
+        )
+    centred = data - data.mean(axis=0, keepdims=True)
+    _, singular_values, rows = np.linalg.svd(centred, full_matrices=False)
+    components = rows[:n_components]
+    projected = centred @ components.T
+    variance = singular_values**2
+    total = variance.sum()
+    ratio = variance[:n_components] / total if total > 0 else np.zeros(n_components)
+    return projected, ratio
+
+
+def project_embeddings_2d(
+    embeddings: np.ndarray, labels: np.ndarray
+) -> Dict[int, np.ndarray]:
+    """2-D PCA projection grouped by class (ready for scatter plotting/export)."""
+    labels = np.asarray(labels).reshape(-1)
+    if labels.shape[0] != np.asarray(embeddings).shape[0]:
+        raise DataError("labels and embeddings must have the same length")
+    projected, _ = pca_project(embeddings, n_components=2)
+    return {int(class_id): projected[labels == class_id] for class_id in np.unique(labels)}

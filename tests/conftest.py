@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite.
+
+Training-heavy fixtures (a tiny synthetic dataset, a pre-trained PILOTE
+learner) are session-scoped so the expensive work happens once; tests that
+mutate a learner must deep-copy it first (helpers below do so).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.config import PiloteConfig
+from repro.core.pilote import PILOTE
+from repro.data.activities import Activity
+from repro.data.dataset import HARDataset
+from repro.data.streams import IncrementalScenario, build_incremental_scenario
+from repro.data.synthetic import make_feature_dataset
+
+
+TINY_CONFIG = PiloteConfig(
+    hidden_dims=(32, 16),
+    embedding_dim=8,
+    batch_size=16,
+    max_epochs_pretrain=6,
+    max_epochs_increment=5,
+    cache_size=80,
+    max_pairs_per_batch=64,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> PiloteConfig:
+    """A very small PILOTE configuration for fast training in tests."""
+    return TINY_CONFIG
+
+
+@pytest.fixture(scope="session")
+def har_dataset() -> HARDataset:
+    """A small five-activity synthetic feature dataset (shared, read-only)."""
+    return make_feature_dataset(samples_per_class=80, seed=123)
+
+
+@pytest.fixture(scope="session")
+def run_scenario(har_dataset) -> IncrementalScenario:
+    """Class-incremental scenario with 'Run' held out as the new class."""
+    return build_incremental_scenario(har_dataset, [Activity.RUN], rng=5)
+
+
+@pytest.fixture(scope="session")
+def pretrained_pilote(run_scenario, tiny_config) -> PILOTE:
+    """A PILOTE learner pre-trained on the scenario's old classes (read-only)."""
+    learner = PILOTE(tiny_config, seed=0)
+    learner.pretrain(
+        run_scenario.old_train, run_scenario.old_validation, exemplars_per_class=15
+    )
+    return learner
+
+
+@pytest.fixture()
+def pilote_copy(pretrained_pilote) -> PILOTE:
+    """A mutable deep copy of the pre-trained learner (per-test)."""
+    return copy.deepcopy(pretrained_pilote)
+
+
+@pytest.fixture(scope="session")
+def incremented_pilote(pretrained_pilote, run_scenario) -> PILOTE:
+    """A learner that has already integrated the 'Run' class (read-only)."""
+    learner = copy.deepcopy(pretrained_pilote)
+    learner.learn_new_classes(run_scenario.new_train, run_scenario.new_validation)
+    return learner
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(42)

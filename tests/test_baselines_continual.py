@@ -1,0 +1,199 @@
+"""Tests for the classifier-head continual-learning baselines (LwF, iCaRL, GDumb, EWC, ...)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import ClassifierConfig, SoftmaxClassifier
+from repro.baselines.ewc import EWCBaseline
+from repro.baselines.finetune import FineTuneBaseline
+from repro.baselines.gdumb import GDumbBaseline
+from repro.baselines.icarl import ICaRLBaseline
+from repro.baselines.joint import JointTrainingBaseline
+from repro.baselines.lwf import LwFBaseline
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+from repro.metrics.forgetting import new_class_accuracy, old_class_accuracy
+
+
+TINY_CLASSIFIER_CONFIG = ClassifierConfig(
+    hidden_dims=(24,),
+    embedding_dim=12,
+    batch_size=16,
+    max_epochs=8,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def scenario(run_scenario):
+    return run_scenario
+
+
+class TestSoftmaxClassifier:
+    def test_forward_and_logits_shapes(self):
+        model = SoftmaxClassifier(10, 3, config=TINY_CLASSIFIER_CONFIG, rng=0)
+        batch = np.random.default_rng(0).normal(size=(5, 10))
+        assert model.logits(batch).shape == (5, 3)
+        assert model.embed(batch).shape == (5, TINY_CLASSIFIER_CONFIG.embedding_dim)
+
+    def test_expand_classes_preserves_old_weights(self):
+        model = SoftmaxClassifier(10, 3, config=TINY_CLASSIFIER_CONFIG, rng=0)
+        old_weight = model.head.weight.data.copy()
+        model.expand_classes(2)
+        assert model.n_classes == 5
+        assert model.head.weight.data.shape == (TINY_CLASSIFIER_CONFIG.embedding_dim, 5)
+        assert np.allclose(model.head.weight.data[:, :3], old_weight)
+
+    def test_expand_requires_positive(self):
+        model = SoftmaxClassifier(10, 3, config=TINY_CLASSIFIER_CONFIG, rng=0)
+        with pytest.raises(ConfigurationError):
+            model.expand_classes(0)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ClassifierConfig(hidden_dims=())
+        with pytest.raises(ConfigurationError):
+            SoftmaxClassifier(0, 3)
+
+
+class TestFineTune:
+    def test_base_training_learns_old_classes(self, scenario):
+        learner = FineTuneBaseline(TINY_CLASSIFIER_CONFIG, seed=0)
+        learner.fit_base(scenario.old_train, scenario.old_validation)
+        old_test = scenario.test.select_classes(scenario.old_classes)
+        assert learner.evaluate(old_test) > 0.7
+
+    def test_increment_learns_new_but_forgets_old(self, scenario):
+        learner = FineTuneBaseline(TINY_CLASSIFIER_CONFIG, seed=0)
+        learner.fit_base(scenario.old_train, scenario.old_validation)
+        learner.learn_increment(scenario.new_train)
+        predictions = learner.predict(scenario.test.features)
+        new_acc = new_class_accuracy(scenario.test.labels, predictions, scenario.new_classes)
+        old_acc = old_class_accuracy(scenario.test.labels, predictions, scenario.old_classes)
+        assert new_acc > 0.8  # the new class is absorbed...
+        assert old_acc < 0.7  # ...at the cost of the old ones (catastrophic forgetting)
+
+    def test_increment_before_fit_raises(self, scenario):
+        with pytest.raises(NotFittedError):
+            FineTuneBaseline(TINY_CLASSIFIER_CONFIG).learn_increment(scenario.new_train)
+
+    def test_predict_unknown_label_mapping_error(self, scenario):
+        learner = FineTuneBaseline(TINY_CLASSIFIER_CONFIG, seed=0)
+        learner.fit_base(scenario.old_train)
+        with pytest.raises(DataError):
+            learner._to_indices(np.array([99]))
+
+
+class TestLwF:
+    def test_lwf_reduces_forgetting_relative_to_finetune(self, scenario):
+        finetune = FineTuneBaseline(TINY_CLASSIFIER_CONFIG, seed=0)
+        finetune.fit_base(scenario.old_train, scenario.old_validation)
+        finetune.learn_increment(scenario.new_train)
+
+        lwf = LwFBaseline(TINY_CLASSIFIER_CONFIG, seed=0, distillation_weight=2.0)
+        lwf.fit_base(scenario.old_train, scenario.old_validation)
+        lwf.learn_increment(scenario.new_train)
+
+        finetune_old = old_class_accuracy(
+            scenario.test.labels, finetune.predict(scenario.test.features), scenario.old_classes
+        )
+        lwf_old = old_class_accuracy(
+            scenario.test.labels, lwf.predict(scenario.test.features), scenario.old_classes
+        )
+        assert lwf_old >= finetune_old
+
+    def test_invalid_distillation_weight(self):
+        with pytest.raises(ValueError):
+            LwFBaseline(TINY_CLASSIFIER_CONFIG, distillation_weight=-1.0)
+
+
+class TestICaRL:
+    def test_memory_is_balanced_and_bounded(self, scenario):
+        learner = ICaRLBaseline(TINY_CLASSIFIER_CONFIG, memory_size=40, seed=0)
+        learner.fit_base(scenario.old_train, scenario.old_validation)
+        counts = learner.memory.exemplars_per_class()
+        assert all(count == 10 for count in counts.values())
+        learner.learn_increment(scenario.new_train)
+        counts = learner.memory.exemplars_per_class()
+        assert all(count <= 10 for count in counts.values())
+        assert len(counts) == 5
+
+    def test_prediction_uses_all_classes(self, scenario):
+        learner = ICaRLBaseline(TINY_CLASSIFIER_CONFIG, memory_size=50, seed=0)
+        learner.fit_base(scenario.old_train, scenario.old_validation)
+        learner.learn_increment(scenario.new_train)
+        predictions = learner.predict(scenario.test.features)
+        assert learner.evaluate(scenario.test) > 0.5
+        assert set(np.unique(predictions)).issubset(set(learner.known_classes))
+
+    def test_invalid_memory_size(self):
+        with pytest.raises(ValueError):
+            ICaRLBaseline(TINY_CLASSIFIER_CONFIG, memory_size=0)
+
+
+class TestGDumb:
+    def test_memory_counts_respect_budget(self, scenario):
+        learner = GDumbBaseline(TINY_CLASSIFIER_CONFIG, memory_size=40, seed=0)
+        learner.fit_base(scenario.old_train)
+        learner.learn_increment(scenario.new_train)
+        counts = learner.memory_counts()
+        assert sum(counts.values()) <= 40 + 5  # per-class rounding slack
+        assert len(counts) == 5
+
+    def test_accuracy_above_chance(self, scenario):
+        learner = GDumbBaseline(TINY_CLASSIFIER_CONFIG, memory_size=60, seed=0)
+        learner.fit_base(scenario.old_train)
+        learner.learn_increment(scenario.new_train)
+        assert learner.evaluate(scenario.test) > 0.4
+
+    def test_increment_before_fit_raises(self, scenario):
+        with pytest.raises(NotFittedError):
+            GDumbBaseline(TINY_CLASSIFIER_CONFIG).learn_increment(scenario.new_train)
+
+
+class TestEWC:
+    def test_fisher_estimated_after_base(self, scenario):
+        learner = EWCBaseline(TINY_CLASSIFIER_CONFIG, seed=0, fisher_samples=32)
+        learner.fit_base(scenario.old_train, scenario.old_validation)
+        assert learner._fisher
+        assert all(np.all(values >= 0) for values in learner._fisher.values())
+
+    def test_ewc_penalty_reduces_forgetting_vs_finetune(self, scenario):
+        finetune = FineTuneBaseline(TINY_CLASSIFIER_CONFIG, seed=0)
+        finetune.fit_base(scenario.old_train, scenario.old_validation)
+        finetune.learn_increment(scenario.new_train)
+
+        ewc = EWCBaseline(TINY_CLASSIFIER_CONFIG, seed=0, ewc_lambda=500.0, fisher_samples=64)
+        ewc.fit_base(scenario.old_train, scenario.old_validation)
+        ewc.learn_increment(scenario.new_train)
+
+        finetune_old = old_class_accuracy(
+            scenario.test.labels, finetune.predict(scenario.test.features), scenario.old_classes
+        )
+        ewc_old = old_class_accuracy(
+            scenario.test.labels, ewc.predict(scenario.test.features), scenario.old_classes
+        )
+        assert ewc_old >= finetune_old
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            EWCBaseline(TINY_CLASSIFIER_CONFIG, ewc_lambda=-1.0)
+        with pytest.raises(ValueError):
+            EWCBaseline(TINY_CLASSIFIER_CONFIG, fisher_samples=0)
+
+
+class TestJointTraining:
+    def test_joint_is_strong_on_all_classes(self, scenario):
+        learner = JointTrainingBaseline(TINY_CLASSIFIER_CONFIG, seed=0)
+        learner.fit_base(scenario.old_train, scenario.old_validation)
+        learner.learn_increment(scenario.new_train)
+        predictions = learner.predict(scenario.test.features)
+        old_acc = old_class_accuracy(scenario.test.labels, predictions, scenario.old_classes)
+        new_acc = new_class_accuracy(scenario.test.labels, predictions, scenario.new_classes)
+        # Run overlaps heavily with Walk by construction, so the new-class bar
+        # is lower than the old-class one even for the joint upper bound.
+        assert old_acc > 0.6 and new_acc > 0.35
+        assert learner.evaluate(scenario.test) > 0.6
+
+    def test_increment_before_fit_raises(self, scenario):
+        with pytest.raises(NotFittedError):
+            JointTrainingBaseline(TINY_CLASSIFIER_CONFIG).learn_increment(scenario.new_train)

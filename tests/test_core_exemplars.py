@@ -1,0 +1,157 @@
+"""Tests for herding/random exemplar selection and the ExemplarStore."""
+
+import numpy as np
+import pytest
+
+from repro.core.exemplars import ExemplarStore, herding_selection, random_selection
+from repro.exceptions import DataError
+
+
+def _clustered_class(seed=0, n=50, d=4, outliers=5):
+    rng = np.random.default_rng(seed)
+    core = rng.normal(0.0, 0.5, size=(n - outliers, d))
+    far = rng.normal(8.0, 0.5, size=(outliers, d))
+    return np.concatenate([core, far], axis=0)
+
+
+class TestHerdingSelection:
+    def test_selected_mean_approximates_prototype(self):
+        embeddings = _clustered_class()
+        features = embeddings.copy()
+        prototype = embeddings.mean(axis=0)
+        indices = herding_selection(features, embeddings, 10)
+        herded_error = np.linalg.norm(embeddings[indices].mean(axis=0) - prototype)
+        rng = np.random.default_rng(0)
+        random_errors = []
+        for _ in range(20):
+            random_idx = rng.choice(embeddings.shape[0], size=10, replace=False)
+            random_errors.append(np.linalg.norm(embeddings[random_idx].mean(axis=0) - prototype))
+        # Herding tracks the prototype at least as well as a typical random draw.
+        assert herded_error <= np.mean(random_errors)
+
+    def test_no_duplicate_selection(self):
+        embeddings = _clustered_class(1)
+        indices = herding_selection(embeddings, embeddings, 20)
+        assert len(set(indices.tolist())) == 20
+
+    def test_budget_capped_at_population(self):
+        embeddings = np.random.default_rng(0).normal(size=(5, 3))
+        assert herding_selection(embeddings, embeddings, 10).shape[0] == 5
+
+    def test_first_pick_is_closest_to_prototype(self):
+        embeddings = np.array([[0.0, 0.0], [1.0, 1.0], [0.1, 0.1], [5.0, 5.0]])
+        prototype = embeddings.mean(axis=0)
+        first = herding_selection(embeddings, embeddings, 1)[0]
+        distances = np.linalg.norm(embeddings - prototype, axis=1)
+        assert first == int(np.argmin(distances))
+
+    def test_invalid_arguments(self):
+        embeddings = np.random.default_rng(0).normal(size=(5, 3))
+        with pytest.raises(DataError):
+            herding_selection(embeddings, embeddings, 0)
+        with pytest.raises(DataError):
+            herding_selection(embeddings[:3], embeddings, 2)
+        with pytest.raises(DataError):
+            herding_selection(embeddings, np.zeros(5), 2)
+
+
+class TestRandomSelection:
+    def test_count_and_uniqueness(self):
+        features = np.random.default_rng(0).normal(size=(30, 4))
+        indices = random_selection(features, features, 10, rng=0)
+        assert indices.shape[0] == 10
+        assert len(set(indices.tolist())) == 10
+
+    def test_deterministic_with_seed(self):
+        features = np.random.default_rng(0).normal(size=(30, 4))
+        assert np.array_equal(
+            random_selection(features, features, 5, rng=7),
+            random_selection(features, features, 5, rng=7),
+        )
+
+    def test_invalid_budget(self):
+        with pytest.raises(DataError):
+            random_selection(np.zeros((5, 2)), np.zeros((5, 2)), 0)
+
+
+class TestExemplarStore:
+    def _store_with_two_classes(self, strategy="herding", capacity=20):
+        store = ExemplarStore(capacity=capacity, strategy=strategy, rng=0)
+        rng = np.random.default_rng(0)
+        for class_id in (0, 1):
+            rows = rng.normal(class_id * 3.0, 1.0, size=(40, 4))
+            store.select(class_id, rows, rows, n_exemplars=10)
+        return store
+
+    def test_selection_and_lookup(self):
+        store = self._store_with_two_classes()
+        assert store.classes == [0, 1]
+        assert store.get(0).shape == (10, 4)
+        assert store.total_exemplars() == 20
+        assert store.exemplars_per_class() == {0: 10, 1: 10}
+
+    def test_per_class_budget_follows_algorithm1(self):
+        store = ExemplarStore(capacity=800)
+        assert store.per_class_budget(4) == 200
+        assert ExemplarStore(capacity=None).per_class_budget(4) is None
+
+    def test_as_dataset_round_trip(self):
+        store = self._store_with_two_classes()
+        features, labels = store.as_dataset()
+        assert features.shape == (20, 4)
+        assert sorted(np.unique(labels).tolist()) == [0, 1]
+
+    def test_as_dataset_empty_raises(self):
+        with pytest.raises(DataError):
+            ExemplarStore().as_dataset()
+
+    def test_nbytes_float32(self):
+        store = self._store_with_two_classes()
+        assert store.nbytes() == 20 * 4 * 4
+
+    def test_rebalance_trims(self):
+        store = self._store_with_two_classes()
+        store.rebalance(4)
+        assert store.exemplars_per_class() == {0: 4, 1: 4}
+        with pytest.raises(DataError):
+            store.rebalance(0)
+
+    def test_set_and_remove(self):
+        store = ExemplarStore()
+        store.set_exemplars(3, np.ones((5, 2)))
+        assert 3 in store
+        store.remove(3)
+        assert 3 not in store
+        with pytest.raises(KeyError):
+            store.get(3)
+
+    def test_random_strategy_store(self):
+        store = self._store_with_two_classes(strategy="random")
+        assert store.total_exemplars() == 20
+
+    def test_describe(self):
+        description = self._store_with_two_classes().describe()
+        assert description["total_exemplars"] == 20
+        assert description["strategy"] == "herding"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DataError):
+            ExemplarStore(capacity=0)
+        with pytest.raises(DataError):
+            ExemplarStore(strategy="coreset")
+        store = ExemplarStore()
+        with pytest.raises(DataError):
+            store.select(0, np.zeros((0, 3)), np.zeros((0, 3)))
+        with pytest.raises(DataError):
+            store.set_exemplars(0, np.zeros((0, 3)))
+
+    def test_paper_support_set_size_accounting(self):
+        """200 exemplars/class x 4 classes x 80 float32 features < 256 KB."""
+        store = ExemplarStore(capacity=800, strategy="random", rng=0)
+        rng = np.random.default_rng(0)
+        for class_id in range(4):
+            rows = rng.normal(size=(250, 80))
+            store.select(class_id, rows, rows, n_exemplars=200)
+        assert store.total_exemplars() == 800
+        assert store.nbytes() == 800 * 80 * 4
+        assert store.nbytes() < 256 * 1024

@@ -1,0 +1,180 @@
+"""Tests for pair sampling, prototypes and the NCM classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.ncm import NCMClassifier
+from repro.core.pairs import PairSampler, count_contrastive_pairs
+from repro.core.prototypes import PrototypeStore, compute_class_prototypes
+from repro.exceptions import DataError, NotFittedError
+
+
+class TestPairSampler:
+    def test_all_strategy_generates_all_pairs(self):
+        labels = np.array([0, 0, 1, 1])
+        pairs = PairSampler(strategy="all", max_pairs=100, rng=0).sample(labels)
+        assert pairs.n_pairs == 6
+        assert pairs.n_positive == 2  # (0,1) and (2,3)
+
+    def test_pair_labels_are_correct(self):
+        labels = np.array([0, 1])
+        pairs = PairSampler(strategy="all", rng=0).sample(labels)
+        assert pairs.same_class.tolist() == [0.0]
+
+    def test_max_pairs_cap(self):
+        labels = np.zeros(30, dtype=int)
+        pairs = PairSampler(strategy="all", max_pairs=10, rng=0).sample(labels)
+        assert pairs.n_pairs == 10
+
+    def test_new_centred_only_involves_new_classes(self):
+        labels = np.array([0, 0, 0, 5, 5])
+        pairs = PairSampler(strategy="new_centred", max_pairs=100, rng=0).sample(
+            labels, new_classes={5}
+        )
+        involves_new = (labels[pairs.left] == 5) | (labels[pairs.right] == 5)
+        assert involves_new.all()
+        assert pairs.n_pairs == 7  # 3*2 cross pairs + 1 new-new pair
+
+    def test_new_centred_requires_new_classes(self):
+        with pytest.raises(DataError):
+            PairSampler(strategy="new_centred").sample(np.array([0, 1]))
+
+    def test_new_centred_falls_back_when_no_new_samples(self):
+        labels = np.array([0, 0, 1])
+        pairs = PairSampler(strategy="new_centred", max_pairs=100, rng=0).sample(
+            labels, new_classes={9}
+        )
+        assert pairs.n_pairs == 3  # falls back to all pairs
+
+    def test_balanced_strategy_mixes_positive_and_negative(self):
+        labels = np.array([0] * 10 + [1] * 10)
+        pairs = PairSampler(strategy="balanced", max_pairs=40, rng=0).sample(labels)
+        assert pairs.n_positive > 0 and pairs.n_negative > 0
+        assert abs(pairs.n_positive - pairs.n_negative) <= 2
+
+    def test_balanced_single_class_batch(self):
+        labels = np.zeros(6, dtype=int)
+        pairs = PairSampler(strategy="balanced", max_pairs=10, rng=0).sample(labels)
+        assert pairs.n_pairs > 0
+        assert pairs.n_negative == 0
+
+    def test_requires_two_samples(self):
+        with pytest.raises(DataError):
+            PairSampler().sample(np.array([0]))
+
+    def test_invalid_construction(self):
+        with pytest.raises(DataError):
+            PairSampler(strategy="everything")
+        with pytest.raises(DataError):
+            PairSampler(max_pairs=0)
+
+    def test_count_contrastive_pairs_reduction(self):
+        counts = {0: 10, 1: 10, 2: 5}
+        assert count_contrastive_pairs(counts) == 25 * 24 // 2
+        reduced = count_contrastive_pairs(counts, new_classes={2})
+        assert reduced == 25 * 24 // 2 - 20 * 19 // 2
+        assert reduced < count_contrastive_pairs(counts)
+
+
+class TestPrototypes:
+    def test_compute_class_prototypes(self):
+        embeddings = np.array([[0.0, 0.0], [2.0, 2.0], [4.0, 6.0]])
+        labels = np.array([1, 1, 3])
+        prototypes = compute_class_prototypes(embeddings, labels)
+        assert np.allclose(prototypes[1], [1.0, 1.0])
+        assert np.allclose(prototypes[3], [4.0, 6.0])
+
+    def test_compute_validates_shapes(self):
+        with pytest.raises(DataError):
+            compute_class_prototypes(np.zeros(5), np.zeros(5))
+        with pytest.raises(DataError):
+            compute_class_prototypes(np.zeros((3, 2)), np.zeros(2))
+
+    def test_store_set_get_contains(self):
+        store = PrototypeStore()
+        store.set(2, [1.0, 2.0])
+        assert 2 in store
+        assert np.allclose(store.get(2), [1.0, 2.0])
+        assert store.classes == [2]
+        with pytest.raises(KeyError):
+            store.get(5)
+
+    def test_store_dimension_consistency(self):
+        store = PrototypeStore()
+        store.set(0, [1.0, 2.0])
+        with pytest.raises(DataError):
+            store.set(1, [1.0, 2.0, 3.0])
+
+    def test_store_update_from_and_matrix(self):
+        store = PrototypeStore()
+        embeddings = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 4.0]])
+        store.update_from(embeddings, np.array([0, 0, 1]))
+        matrix = store.as_matrix()
+        assert matrix.shape == (2, 2)
+        assert np.allclose(matrix[0], [1.0, 0.0])
+
+    def test_store_as_matrix_empty_raises(self):
+        with pytest.raises(NotFittedError):
+            PrototypeStore().as_matrix()
+
+    def test_store_remove_and_nbytes(self):
+        store = PrototypeStore()
+        store.set(0, np.zeros(8))
+        store.set(1, np.zeros(8))
+        assert store.nbytes() == 2 * 8 * 4
+        store.remove(0)
+        assert store.classes == [1]
+
+
+class TestNCMClassifier:
+    def _fitted(self):
+        return NCMClassifier().fit({0: np.array([0.0, 0.0]), 1: np.array([10.0, 0.0])})
+
+    def test_predicts_nearest_prototype(self):
+        classifier = self._fitted()
+        predictions = classifier.predict(np.array([[1.0, 0.0], [9.0, 1.0]]))
+        assert predictions.tolist() == [0, 1]
+
+    def test_predict_single_vector(self):
+        assert self._fitted().predict(np.array([8.0, 0.0])).tolist() == [1]
+
+    def test_distances_shape(self):
+        assert self._fitted().distances(np.zeros((3, 2))).shape == (3, 2)
+
+    def test_scores_are_probabilities(self):
+        scores = self._fitted().predict_scores(np.array([[1.0, 0.0]]))
+        assert scores.shape == (1, 2)
+        assert scores.sum() == pytest.approx(1.0)
+        assert scores[0, 0] > scores[0, 1]
+
+    def test_cosine_metric(self):
+        classifier = NCMClassifier(metric="cosine").fit(
+            {0: np.array([1.0, 0.0]), 1: np.array([0.0, 1.0])}
+        )
+        assert classifier.predict(np.array([[2.0, 0.1]])).tolist() == [0]
+
+    def test_fit_from_prototype_store(self):
+        store = PrototypeStore()
+        store.set(7, [0.0, 0.0])
+        store.set(9, [5.0, 5.0])
+        classifier = NCMClassifier().fit(store)
+        assert classifier.classes_ == [7, 9]
+        assert classifier.predict(np.array([[4.0, 4.0]])).tolist() == [9]
+
+    def test_not_fitted_errors(self):
+        with pytest.raises(NotFittedError):
+            NCMClassifier().predict(np.zeros((1, 2)))
+        with pytest.raises(NotFittedError):
+            NCMClassifier().classes_
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(DataError):
+            self._fitted().predict(np.zeros((2, 3)))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DataError):
+            NCMClassifier(metric="manhattan")
+        with pytest.raises(DataError):
+            NCMClassifier().fit({})
+        with pytest.raises(DataError):
+            NCMClassifier().fit([1, 2, 3])

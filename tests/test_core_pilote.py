@@ -1,0 +1,151 @@
+"""Tests for the PILOTE learner (pre-training, incremental updates, inference, forgetting)."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core.config import PiloteConfig
+from repro.core.pilote import PILOTE
+from repro.data.activities import Activity
+from repro.exceptions import DataError, NotFittedError
+from repro.metrics.forgetting import old_class_accuracy
+
+
+class TestPretraining:
+    def test_pretrain_learns_old_classes(self, pretrained_pilote, run_scenario):
+        old_test = run_scenario.test.select_classes(run_scenario.old_classes)
+        assert pretrained_pilote.evaluate(old_test) > 0.75
+
+    def test_pretrain_builds_support_set_and_prototypes(self, pretrained_pilote, run_scenario):
+        assert pretrained_pilote.exemplars.classes == run_scenario.old_classes
+        assert pretrained_pilote.prototypes.classes == run_scenario.old_classes
+        assert all(
+            count == 15 for count in pretrained_pilote.exemplars.exemplars_per_class().values()
+        )
+
+    def test_pretrain_history_respects_epoch_cap(self, pretrained_pilote, tiny_config):
+        assert pretrained_pilote.is_pretrained
+        assert pretrained_pilote.old_classes == [0, 1, 3, 4]
+
+    def test_pretrain_requires_samples(self, tiny_config):
+        from repro.data.dataset import HARDataset
+
+        learner = PILOTE(tiny_config)
+        with pytest.raises(DataError):
+            learner.pretrain(HARDataset(features=np.ones((1, 4)), labels=np.array([0])))
+
+    def test_predict_before_training_raises(self, tiny_config):
+        learner = PILOTE(tiny_config)
+        with pytest.raises(NotFittedError):
+            learner.predict(np.zeros((1, 80)))
+        with pytest.raises(NotFittedError):
+            learner.embed(np.zeros((1, 80)))
+
+
+class TestSupportSet:
+    def test_rebuild_with_different_budget(self, pilote_copy):
+        pilote_copy.build_support_set(per_class=5)
+        assert all(c == 5 for c in pilote_copy.exemplars.exemplars_per_class().values())
+
+    def test_rebuild_with_random_strategy(self, pilote_copy):
+        pilote_copy.build_support_set(per_class=8, strategy="random")
+        assert pilote_copy.exemplars.strategy == "random"
+        assert pilote_copy.exemplars.total_exemplars() == 8 * 4
+
+    def test_build_without_pretrain_raises(self, tiny_config):
+        with pytest.raises(NotFittedError):
+            PILOTE(tiny_config).build_support_set()
+
+
+class TestIncrementalLearning:
+    def test_learn_new_class_extends_known_classes(self, incremented_pilote):
+        assert int(Activity.RUN) in incremented_pilote.classes_
+        assert incremented_pilote.new_classes == [int(Activity.RUN)]
+        assert len(incremented_pilote.classes_) == 5
+
+    def test_new_class_gets_exemplars_and_prototype(self, incremented_pilote):
+        assert int(Activity.RUN) in incremented_pilote.exemplars.classes
+        assert int(Activity.RUN) in incremented_pilote.prototypes.classes
+
+    def test_accuracy_on_full_test_set(self, incremented_pilote, run_scenario):
+        assert incremented_pilote.evaluate(run_scenario.test) > 0.6
+
+    def test_new_class_is_actually_learned(self, incremented_pilote, run_scenario):
+        new_test = run_scenario.test.select_classes([int(Activity.RUN)])
+        assert incremented_pilote.evaluate(new_test) > 0.5
+
+    def test_old_classes_not_catastrophically_forgotten(
+        self, pretrained_pilote, incremented_pilote, run_scenario
+    ):
+        old_test = run_scenario.test.select_classes(run_scenario.old_classes)
+        before = pretrained_pilote.evaluate(old_test)
+        after = incremented_pilote.evaluate(old_test)
+        assert after > before - 0.25
+
+    def test_learn_without_pretrain_raises(self, tiny_config, run_scenario):
+        learner = PILOTE(tiny_config)
+        with pytest.raises(NotFittedError):
+            learner.learn_new_classes(run_scenario.new_train)
+
+    def test_learning_known_class_raises(self, pilote_copy, run_scenario):
+        known = run_scenario.old_train.select_classes([run_scenario.old_classes[0]])
+        with pytest.raises(DataError):
+            pilote_copy.learn_new_classes(known)
+
+    def test_learn_with_empty_support_set_raises(self, pilote_copy, run_scenario):
+        pilote_copy.exemplars._exemplars.clear()
+        with pytest.raises(NotFittedError):
+            pilote_copy.learn_new_classes(run_scenario.new_train)
+
+    def test_predictions_cover_all_classes(self, incremented_pilote, run_scenario):
+        predictions = incremented_pilote.predict(run_scenario.test.features)
+        assert set(np.unique(predictions)).issubset(set(incremented_pilote.classes_))
+
+    def test_predict_scores_shape(self, incremented_pilote, run_scenario):
+        scores = incremented_pilote.predict_scores(run_scenario.test.features[:10])
+        assert scores.shape == (10, 5)
+        assert np.allclose(scores.sum(axis=1), 1.0)
+
+
+class TestDistillationEffect:
+    def test_pilote_beats_plain_retraining_on_old_classes(self, pretrained_pilote, run_scenario):
+        """The core claim of the paper at test scale: distillation (α=0.5) preserves
+        old-class accuracy at least as well as re-training without it (α=0)."""
+        pilote = copy.deepcopy(pretrained_pilote)
+        retrained = copy.deepcopy(pretrained_pilote)
+        retrained.config = retrained.config.with_overrides(alpha=0.0)
+        pilote.learn_new_classes(run_scenario.new_train, run_scenario.new_validation)
+        retrained.learn_new_classes(run_scenario.new_train, run_scenario.new_validation)
+        test = run_scenario.test
+        pilote_old = old_class_accuracy(
+            test.labels, pilote.predict(test.features), run_scenario.old_classes
+        )
+        retrained_old = old_class_accuracy(
+            test.labels, retrained.predict(test.features), run_scenario.old_classes
+        )
+        assert pilote_old >= retrained_old - 0.05
+
+    def test_teacher_is_frozen_copy(self, incremented_pilote):
+        assert incremented_pilote.teacher is not None
+        assert not incremented_pilote.teacher.training
+
+
+class TestResourceAccounting:
+    def test_memory_footprint_keys(self, incremented_pilote):
+        footprint = incremented_pilote.memory_footprint()
+        assert footprint["total_bytes"] == (
+            footprint["model_bytes"]
+            + footprint["support_set_bytes"]
+            + footprint["prototype_bytes"]
+        )
+        assert footprint["support_set_bytes"] == incremented_pilote.support_set_nbytes()
+
+    def test_support_set_bytes_scale_with_budget(self, pilote_copy):
+        before = pilote_copy.support_set_nbytes()
+        pilote_copy.build_support_set(per_class=5)
+        assert pilote_copy.support_set_nbytes() < before
+
+    def test_model_bytes_positive(self, pretrained_pilote):
+        assert pretrained_pilote.model_nbytes() > 0
+        assert PILOTE(PiloteConfig.edge_lightweight()).model_nbytes() == 0

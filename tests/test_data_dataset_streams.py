@@ -1,0 +1,207 @@
+"""Tests for HARDataset, splitting, incremental scenarios and imbalance utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data.activities import Activity
+from repro.data.dataset import HARDataset, train_val_test_split
+from repro.data.imbalance import class_counts, imbalance_ratio, make_imbalanced, subsample_class
+from repro.data.streams import build_incremental_scenario
+from repro.exceptions import DataError
+
+
+def _dataset(n_per_class=30, n_classes=4, n_features=6, seed=0):
+    rng = np.random.default_rng(seed)
+    features = []
+    labels = []
+    for class_id in range(n_classes):
+        features.append(rng.normal(class_id, 1.0, size=(n_per_class, n_features)))
+        labels.append(np.full(n_per_class, class_id))
+    return HARDataset(
+        features=np.concatenate(features),
+        labels=np.concatenate(labels),
+        label_names={i: f"activity{i}" for i in range(n_classes)},
+    )
+
+
+class TestHARDataset:
+    def test_basic_properties(self):
+        dataset = _dataset()
+        assert dataset.n_samples == 120
+        assert dataset.n_features == 6
+        assert len(dataset) == 120
+        assert dataset.classes.tolist() == [0, 1, 2, 3]
+        assert dataset.class_name(1) == "activity1"
+        assert dataset.class_name(99) == "class_99"
+
+    def test_select_and_exclude_classes(self):
+        dataset = _dataset()
+        selected = dataset.select_classes([0, 2])
+        assert set(selected.classes.tolist()) == {0, 2}
+        excluded = dataset.exclude_classes([0])
+        assert 0 not in excluded.classes
+
+    def test_select_missing_class_raises(self):
+        with pytest.raises(DataError):
+            _dataset().select_classes([99])
+
+    def test_class_subset(self):
+        dataset = _dataset()
+        assert dataset.class_subset(2).shape == (30, 6)
+        with pytest.raises(DataError):
+            dataset.class_subset(42)
+
+    def test_subsample_per_class(self):
+        dataset = _dataset()
+        small = dataset.subsample(5, per_class=True, rng=0)
+        assert all(count == 5 for count in small.class_distribution().values())
+
+    def test_subsample_global(self):
+        dataset = _dataset()
+        assert dataset.subsample(17, rng=0).n_samples == 17
+
+    def test_subsample_more_than_available(self):
+        dataset = _dataset(n_per_class=3)
+        assert dataset.subsample(100, per_class=True, rng=0).n_samples == 12
+
+    def test_shuffled_preserves_pairs(self):
+        dataset = _dataset()
+        shuffled = dataset.shuffled(rng=0)
+        # Class 3 rows were generated around mean 3; check labels still match rows.
+        mask = shuffled.labels == 3
+        assert abs(shuffled.features[mask].mean() - 3.0) < 0.5
+
+    def test_merge(self):
+        combined = _dataset(n_per_class=5).merge(_dataset(n_per_class=7, seed=1))
+        assert combined.n_samples == 4 * 5 + 4 * 7
+
+    def test_merge_feature_mismatch_raises(self):
+        with pytest.raises(DataError):
+            _dataset(n_features=4).merge(_dataset(n_features=6))
+
+    def test_validation_of_inputs(self):
+        with pytest.raises(DataError):
+            HARDataset(features=np.ones((3, 2)), labels=np.array([0, 1]))
+        with pytest.raises(DataError):
+            HARDataset(features=np.array([[np.nan, 1.0]]), labels=np.array([0]))
+
+
+class TestSplits:
+    def test_paper_split_proportions(self):
+        dataset = _dataset(n_per_class=50)
+        splits = train_val_test_split(dataset, test_fraction=0.3, validation_fraction=0.2, rng=0)
+        train_n, val_n, test_n = splits.sizes()
+        assert train_n + val_n + test_n == dataset.n_samples
+        assert abs(test_n - 0.3 * dataset.n_samples) <= 4
+        assert abs(val_n - 0.2 * 0.7 * dataset.n_samples) <= 4
+
+    def test_stratified_split_covers_all_classes(self):
+        dataset = _dataset(n_per_class=20)
+        splits = train_val_test_split(dataset, rng=1)
+        for part in (splits.train, splits.validation, splits.test):
+            assert set(part.classes.tolist()) == {0, 1, 2, 3}
+
+    def test_partitions_are_disjoint(self):
+        dataset = _dataset(n_per_class=20)
+        splits = train_val_test_split(dataset, rng=2)
+        # Rows are unique random vectors, so row-wise comparison detects overlap.
+        train_rows = {tuple(row) for row in splits.train.features}
+        test_rows = {tuple(row) for row in splits.test.features}
+        assert not train_rows & test_rows
+
+    def test_split_is_reproducible(self):
+        dataset = _dataset()
+        first = train_val_test_split(dataset, rng=5)
+        second = train_val_test_split(dataset, rng=5)
+        assert np.allclose(first.test.features, second.test.features)
+
+    def test_invalid_fractions(self):
+        dataset = _dataset()
+        with pytest.raises(DataError):
+            train_val_test_split(dataset, test_fraction=0.0)
+        with pytest.raises(DataError):
+            train_val_test_split(dataset, validation_fraction=1.0)
+
+    def test_validation_never_empty(self):
+        dataset = _dataset(n_per_class=3)
+        splits = train_val_test_split(dataset, validation_fraction=0.0, rng=0)
+        assert splits.validation.n_samples >= 1
+
+
+class TestIncrementalScenario:
+    def test_scenario_structure(self):
+        dataset = _dataset(n_per_class=40)
+        scenario = build_incremental_scenario(dataset, [3], rng=0)
+        assert scenario.old_classes == [0, 1, 2]
+        assert scenario.new_classes == [3]
+        assert scenario.all_classes == [0, 1, 2, 3]
+        assert set(scenario.old_train.classes.tolist()) == {0, 1, 2}
+        assert set(scenario.new_train.classes.tolist()) == {3}
+        assert set(scenario.test.classes.tolist()) == {0, 1, 2, 3}
+
+    def test_new_class_sample_cap(self):
+        dataset = _dataset(n_per_class=40)
+        scenario = build_incremental_scenario(dataset, [3], new_class_samples=5, rng=0)
+        assert scenario.new_train.n_samples == 5
+
+    def test_describe(self):
+        dataset = _dataset(n_per_class=10)
+        description = build_incremental_scenario(dataset, [1], rng=0).describe()
+        assert description["new_classes"] == [1]
+        assert description["test_size"] > 0
+
+    def test_errors(self):
+        dataset = _dataset()
+        with pytest.raises(DataError):
+            build_incremental_scenario(dataset, [])
+        with pytest.raises(DataError):
+            build_incremental_scenario(dataset, [99])
+        with pytest.raises(DataError):
+            build_incremental_scenario(dataset, [0, 1, 2, 3])
+
+    def test_multiple_new_classes(self):
+        dataset = _dataset(n_per_class=30)
+        scenario = build_incremental_scenario(dataset, [2, 3], rng=1)
+        assert scenario.new_classes == [2, 3]
+        assert scenario.old_classes == [0, 1]
+
+    def test_real_activity_scenario(self, har_dataset):
+        scenario = build_incremental_scenario(har_dataset, [Activity.RUN], rng=0)
+        assert int(Activity.RUN) in scenario.new_classes
+        assert int(Activity.RUN) not in scenario.old_classes
+
+
+class TestImbalance:
+    def test_class_counts(self):
+        assert class_counts(np.array([0, 0, 1, 2, 2, 2])) == {0: 2, 1: 1, 2: 3}
+
+    def test_imbalance_ratio(self):
+        assert imbalance_ratio(np.array([0, 0, 0, 1])) == pytest.approx(3.0)
+        with pytest.raises(DataError):
+            imbalance_ratio(np.array([]))
+
+    def test_subsample_class(self):
+        dataset = _dataset(n_per_class=30)
+        reduced = subsample_class(dataset, 2, 5, rng=0)
+        counts = reduced.class_distribution()
+        assert counts[2] == 5
+        assert counts[0] == 30
+
+    def test_subsample_class_errors(self):
+        dataset = _dataset()
+        with pytest.raises(DataError):
+            subsample_class(dataset, 99, 5)
+        with pytest.raises(DataError):
+            subsample_class(dataset, 0, 0)
+
+    def test_make_imbalanced(self):
+        dataset = _dataset(n_per_class=40)
+        skewed = make_imbalanced(dataset, {0: 0.25, 1: 1.0}, rng=0)
+        counts = skewed.class_distribution()
+        assert counts[0] == 10
+        assert counts[1] == 40
+        assert imbalance_ratio(skewed.labels) == pytest.approx(4.0)
+
+    def test_make_imbalanced_invalid_proportion(self):
+        with pytest.raises(DataError):
+            make_imbalanced(_dataset(), {0: 0.0})

@@ -1,0 +1,156 @@
+"""Tests for the edge runtime: device budgets, transfer packaging, MAGNETO, profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PiloteConfig
+from repro.data.activities import Activity
+from repro.edge.cloud import CloudServer
+from repro.edge.device import DEVICE_PROFILES, DeviceProfile, EdgeDevice
+from repro.edge.magneto import MagnetoPlatform
+from repro.edge.profiler import EdgeProfiler, LatencyReport
+from repro.edge.transfer import exemplar_storage_bytes, package_for_edge
+from repro.exceptions import EdgeResourceError, NotFittedError
+
+
+class TestEdgeDevice:
+    def test_storage_ledger(self):
+        device = EdgeDevice(DeviceProfile("test", storage_bytes=1000, memory_bytes=1000))
+        device.store("model", 400)
+        device.store("support", 300)
+        assert device.storage_used == 700
+        assert device.storage_free == 300
+        assert device.can_store(300)
+        assert not device.can_store(301)
+
+    def test_over_budget_raises(self):
+        device = EdgeDevice(DeviceProfile("test", storage_bytes=100, memory_bytes=100))
+        with pytest.raises(EdgeResourceError):
+            device.store("model", 200)
+
+    def test_replacing_allocation_reuses_space(self):
+        device = EdgeDevice(DeviceProfile("test", storage_bytes=100, memory_bytes=100))
+        device.store("model", 90)
+        device.store("model", 50)  # replace, not add
+        assert device.storage_used == 50
+
+    def test_free(self):
+        device = EdgeDevice(DeviceProfile("test", storage_bytes=100, memory_bytes=100))
+        device.store("x", 50)
+        device.free("x")
+        assert device.storage_used == 0
+
+    def test_epoch_extrapolation(self):
+        device = EdgeDevice(DEVICE_PROFILES["wearable"])
+        assert device.estimate_epoch_seconds(0.1) == pytest.approx(1.0)
+
+    def test_invalid_profile(self):
+        with pytest.raises(EdgeResourceError):
+            DeviceProfile("bad", storage_bytes=0, memory_bytes=10)
+        with pytest.raises(EdgeResourceError):
+            DeviceProfile("bad", storage_bytes=10, memory_bytes=10, relative_compute=0.0)
+
+    def test_negative_size_rejected(self):
+        device = EdgeDevice()
+        with pytest.raises(EdgeResourceError):
+            device.store("x", -1)
+
+
+class TestTransferPackaging:
+    def test_package_contents_and_sizes(self, pretrained_pilote):
+        package = package_for_edge(pretrained_pilote)
+        assert package.model_bytes == pretrained_pilote.model_nbytes()
+        assert package.support_set_bytes == pretrained_pilote.support_set_nbytes()
+        assert package.total_bytes == (
+            package.model_bytes + package.support_set_bytes + package.prototype_bytes
+        )
+        assert set(package.exemplar_features) == set(pretrained_pilote.exemplars.classes)
+        summary = package.summary()
+        assert summary["total_megabytes"] == pytest.approx(package.total_bytes / 2**20)
+
+    def test_package_requires_pretrained(self, tiny_config):
+        from repro.core.pilote import PILOTE
+
+        with pytest.raises(NotFittedError):
+            package_for_edge(PILOTE(tiny_config))
+
+    def test_exemplar_storage_bytes_formula(self):
+        # The paper's number: 200 exemplars/class x 4 classes x 80 features (float32) = 256 KB.
+        assert exemplar_storage_bytes(800, 80) == 256_000
+        with pytest.raises(ValueError):
+            exemplar_storage_bytes(-1, 80)
+
+
+class TestCloudServer:
+    def test_pretrain_and_export(self, run_scenario, tiny_config):
+        cloud = CloudServer(tiny_config, seed=0)
+        learner = cloud.pretrain(run_scenario.old_train, run_scenario.old_validation)
+        assert learner.is_pretrained
+        package = cloud.export_package()
+        assert package.total_bytes > 0
+
+    def test_export_before_pretrain_raises(self, tiny_config):
+        with pytest.raises(RuntimeError):
+            CloudServer(tiny_config).export_package()
+
+
+class TestMagnetoPlatform:
+    def test_full_pipeline(self, run_scenario, tiny_config):
+        platform = MagnetoPlatform(tiny_config, seed=0)
+        platform.cloud_pretrain(run_scenario.old_train, run_scenario.old_validation,
+                                exemplars_per_class=10)
+        package = platform.deploy_to_edge()
+        assert platform.device.storage_used == pytest.approx(package.total_bytes)
+        platform.edge_learn_new_activity(run_scenario.new_train, run_scenario.new_validation)
+        predictions = platform.edge_predict(run_scenario.test.features)
+        assert predictions.shape[0] == run_scenario.test.n_samples
+        assert int(Activity.RUN) in set(predictions.tolist())
+        report = platform.storage_report()
+        assert "support_set" in report and report["free_bytes"] > 0
+
+    def test_pipeline_order_enforced(self, run_scenario, tiny_config):
+        platform = MagnetoPlatform(tiny_config, seed=0)
+        with pytest.raises(NotFittedError):
+            platform.deploy_to_edge()
+        with pytest.raises(NotFittedError):
+            platform.edge_learn_new_activity(run_scenario.new_train)
+        with pytest.raises(NotFittedError):
+            platform.edge_predict(run_scenario.test.features)
+
+
+class TestProfiler:
+    def test_profile_increment_reports(self, pilote_copy, run_scenario):
+        profiler = EdgeProfiler(inference_batch=64)
+        report = profiler.profile_increment(
+            pilote_copy,
+            run_scenario.new_train,
+            run_scenario.new_validation,
+            inference_data=run_scenario.test,
+        )
+        assert report.epochs_run >= 1
+        assert report.total_seconds > 0
+        assert report.mean_epoch_seconds > 0
+        assert report.inference_seconds_per_window > 0
+        assert report.support_set_bytes > 0
+        summary = report.summary()
+        assert summary["support_set_kilobytes"] == pytest.approx(report.support_set_bytes / 1024)
+
+    def test_scaled_to_slower_device(self):
+        report = LatencyReport(epochs_run=2, total_seconds=1.0, epoch_seconds=[0.4, 0.6])
+        scaled = report.scaled_to(DEVICE_PROFILES["wearable"])
+        assert scaled.total_seconds == pytest.approx(10.0)
+        assert scaled.mean_epoch_seconds == pytest.approx(5.0)
+
+    def test_profile_inference_requires_trained(self, tiny_config, run_scenario):
+        from repro.core.pilote import PILOTE
+
+        with pytest.raises(NotFittedError):
+            EdgeProfiler().profile_inference(PILOTE(tiny_config), run_scenario.test)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            EdgeProfiler(inference_batch=0)
+
+    def test_max_epoch_seconds(self):
+        report = LatencyReport(epochs_run=2, total_seconds=1.0, epoch_seconds=[0.4, 0.6])
+        assert report.max_epoch_seconds == pytest.approx(0.6)

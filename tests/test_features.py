@@ -1,0 +1,141 @@
+"""Tests for the statistical feature extractor and registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.sensors import default_sensor_suite
+from repro.exceptions import ConfigurationError, DataError
+from repro.features.extractor import StatisticalFeatureExtractor
+from repro.features.registry import FeatureRegistry
+from repro.features.statistical import (
+    channel_energy,
+    channel_means,
+    channel_min_max_range,
+    channel_variances,
+    triaxial_jerk_statistics,
+    triaxial_magnitude_statistics,
+)
+
+
+@pytest.fixture()
+def windows():
+    return np.random.default_rng(0).normal(size=(5, 40, 6))
+
+
+class TestStatisticalPrimitives:
+    def test_channel_means_matches_numpy(self, windows):
+        assert np.allclose(channel_means(windows), windows.mean(axis=1))
+
+    def test_channel_variances_matches_numpy(self, windows):
+        assert np.allclose(channel_variances(windows), windows.var(axis=1))
+
+    def test_channel_range_and_energy(self, windows):
+        assert channel_min_max_range(windows).shape == (5, 6)
+        assert np.all(channel_energy(windows) >= 0)
+
+    def test_triaxial_magnitude_statistics_shape(self, windows):
+        block = triaxial_magnitude_statistics(windows, [(0, 1, 2), (3, 4, 5)])
+        assert block.shape == (5, 4)
+        assert np.all(block[:, 0] >= 0)  # magnitudes are non-negative
+
+    def test_triaxial_jerk_statistics_shape(self, windows):
+        block = triaxial_jerk_statistics(windows, [(0, 1, 2)], sampling_rate_hz=40.0)
+        assert block.shape == (5, 4)
+
+    def test_no_groups_gives_empty_block(self, windows):
+        assert triaxial_jerk_statistics(windows, []).shape == (5, 0)
+
+    def test_still_signal_has_near_zero_jerk(self):
+        still = np.ones((2, 30, 3)) * 5.0
+        block = triaxial_jerk_statistics(still, [(0, 1, 2)])
+        assert np.allclose(block, 0.0)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(DataError):
+            channel_means(np.zeros((5, 6)))
+
+
+class TestFeatureRegistry:
+    def test_register_and_compute(self, windows):
+        registry = FeatureRegistry()
+        registry.register("max", lambda w: w.max(axis=1), "per-channel maximum")
+        registry.register("count", lambda w: np.full(w.shape[0], w.shape[1]))
+        features = registry.compute(windows)
+        assert features.shape == (5, 7)
+        assert registry.names() == ["max", "count"]
+
+    def test_duplicate_name_rejected(self):
+        registry = FeatureRegistry()
+        registry.register("a", lambda w: w.mean(axis=1))
+        with pytest.raises(ConfigurationError):
+            registry.register("a", lambda w: w.mean(axis=1))
+
+    def test_remove(self):
+        registry = FeatureRegistry()
+        registry.register("a", lambda w: w.mean(axis=1))
+        registry.remove("a")
+        assert "a" not in registry
+        with pytest.raises(KeyError):
+            registry.remove("a")
+
+    def test_empty_registry_compute_raises(self, windows):
+        with pytest.raises(ConfigurationError):
+            FeatureRegistry().compute(windows)
+
+    def test_wrong_row_count_rejected(self, windows):
+        registry = FeatureRegistry()
+        registry.register("broken", lambda w: np.zeros((3, 1)))
+        with pytest.raises(ConfigurationError):
+            registry.compute(windows)
+
+
+class TestStatisticalFeatureExtractor:
+    def test_default_suite_gives_80_features(self):
+        suite = default_sensor_suite()
+        extractor = StatisticalFeatureExtractor(
+            suite.triaxial_groups, sampling_rate_hz=suite.sampling_rate_hz
+        )
+        windows = np.random.default_rng(0).normal(size=(3, suite.window_length, suite.n_channels))
+        features = extractor.transform(windows)
+        assert features.shape == (3, 80)
+        assert extractor.n_features(suite.n_channels) == 80
+        assert len(extractor.feature_names(suite.n_channels)) == 80
+
+    def test_single_window_2d_input(self):
+        suite = default_sensor_suite()
+        extractor = StatisticalFeatureExtractor(suite.triaxial_groups)
+        window = np.random.default_rng(0).normal(size=(suite.window_length, suite.n_channels))
+        assert extractor.transform(window).shape == (1, 80)
+
+    def test_extra_registry_appends_columns(self):
+        suite = default_sensor_suite()
+        registry = FeatureRegistry()
+        registry.register("range", lambda w: w.max(axis=1) - w.min(axis=1))
+        extractor = StatisticalFeatureExtractor(suite.triaxial_groups, extra_registry=registry)
+        windows = np.random.default_rng(0).normal(size=(2, 120, 22))
+        assert extractor.transform(windows).shape == (2, 80 + 22)
+
+    def test_group_out_of_range_raises(self):
+        extractor = StatisticalFeatureExtractor([(0, 1, 99)])
+        with pytest.raises(DataError):
+            extractor.transform(np.zeros((1, 10, 5)))
+
+    def test_invalid_group_size_raises(self):
+        with pytest.raises(DataError):
+            StatisticalFeatureExtractor([(0, 1)])
+
+    def test_invalid_sampling_rate(self):
+        with pytest.raises(DataError):
+            StatisticalFeatureExtractor([(0, 1, 2)], sampling_rate_hz=0.0)
+
+    def test_features_are_deterministic(self):
+        suite = default_sensor_suite()
+        extractor = StatisticalFeatureExtractor(suite.triaxial_groups)
+        windows = np.random.default_rng(1).normal(size=(4, 120, 22))
+        assert np.allclose(extractor.transform(windows), extractor.transform(windows))
+
+    def test_callable_alias(self):
+        suite = default_sensor_suite()
+        extractor = StatisticalFeatureExtractor(suite.triaxial_groups)
+        windows = np.random.default_rng(1).normal(size=(2, 120, 22))
+        assert np.allclose(extractor(windows), extractor.transform(windows))

@@ -1,0 +1,113 @@
+"""Additional coverage for small public APIs not exercised elsewhere:
+weight initialisers, the functional loss wrappers, multi-input op error paths
+and the edge-device profile catalogue."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import ops
+from repro.autodiff.tensor import Tensor
+from repro.core.contrastive import contrastive_loss, contrastive_loss_value
+from repro.core.distillation import distillation_loss, distillation_loss_value
+from repro.edge.device import DEVICE_PROFILES
+from repro.exceptions import ShapeError
+from repro.nn.init import he_uniform, normal_init, xavier_uniform, zeros_init
+
+
+class TestInitializers:
+    def test_xavier_bounds(self):
+        weights = xavier_uniform((50, 30), rng=0)
+        limit = np.sqrt(6.0 / (50 + 30))
+        assert weights.shape == (50, 30)
+        assert np.all(np.abs(weights) <= limit + 1e-12)
+
+    def test_he_bounds(self):
+        weights = he_uniform((40, 20), rng=0)
+        limit = np.sqrt(6.0 / 40)
+        assert np.all(np.abs(weights) <= limit + 1e-12)
+
+    def test_he_is_wider_than_xavier_for_wide_outputs(self):
+        he = he_uniform((10, 1000), rng=0)
+        xavier = xavier_uniform((10, 1000), rng=0)
+        assert he.std() > xavier.std()
+
+    def test_normal_and_zeros(self):
+        assert abs(normal_init((2000,), std=0.05, rng=0).std() - 0.05) < 0.01
+        assert np.all(zeros_init((3, 3)) == 0.0)
+
+    def test_deterministic_given_seed(self):
+        assert np.allclose(xavier_uniform((5, 5), rng=3), xavier_uniform((5, 5), rng=3))
+
+    def test_vector_shapes_supported(self):
+        assert xavier_uniform((7,), rng=0).shape == (7,)
+
+
+class TestFunctionalLossWrappers:
+    def _pairs(self):
+        rng = np.random.default_rng(0)
+        return rng.normal(size=(6, 4)), rng.normal(size=(6, 4)), rng.integers(0, 2, size=6)
+
+    def test_contrastive_wrapper_matches_numpy_value(self):
+        left, right, same = self._pairs()
+        differentiable = contrastive_loss(left, right, same, margin=1.5)
+        plain = contrastive_loss_value(left, right, same, margin=1.5)
+        assert float(differentiable.data) == pytest.approx(plain)
+
+    def test_contrastive_wrapper_hadsell_variant(self):
+        left, right, same = self._pairs()
+        differentiable = contrastive_loss(left, right, same, margin=1.0, variant="hadsell")
+        plain = contrastive_loss_value(left, right, same, margin=1.0, variant="hadsell")
+        assert float(differentiable.data) == pytest.approx(plain, abs=1e-6)
+
+    def test_contrastive_wrapper_propagates_gradients(self):
+        left, right, same = self._pairs()
+        left_tensor = Tensor(left, requires_grad=True)
+        contrastive_loss(left_tensor, Tensor(right), same).backward()
+        assert left_tensor.grad is not None
+
+    def test_distillation_wrapper_matches_numpy_value(self):
+        rng = np.random.default_rng(1)
+        new, old = rng.normal(size=(5, 3)), rng.normal(size=(5, 3))
+        assert float(distillation_loss(new, old).data) == pytest.approx(
+            distillation_loss_value(new, old)
+        )
+
+    def test_distillation_zero_at_identity(self):
+        embeddings = np.random.default_rng(2).normal(size=(4, 6))
+        assert distillation_loss_value(embeddings, embeddings) == pytest.approx(0.0)
+
+
+class TestOpsErrorPaths:
+    def test_concatenate_empty_list(self):
+        with pytest.raises(ShapeError):
+            ops.concatenate([])
+
+    def test_stack_empty_list(self):
+        with pytest.raises(ShapeError):
+            ops.stack([])
+
+    def test_pairwise_distance_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            ops.pairwise_squared_distance(Tensor(np.ones((2, 3))), Tensor(np.ones((3, 3))))
+
+    def test_concatenate_accepts_raw_arrays(self):
+        result = ops.concatenate([np.ones((2, 2)), np.zeros((1, 2))], axis=0)
+        assert result.shape == (3, 2)
+
+
+class TestDeviceProfiles:
+    def test_catalogue_entries(self):
+        assert {"smartphone", "wearable", "raspberry-pi"} <= set(DEVICE_PROFILES)
+        for profile in DEVICE_PROFILES.values():
+            assert profile.storage_bytes > 0
+            assert 0 < profile.relative_compute <= 1.0
+
+    def test_wearable_is_most_constrained(self):
+        assert (
+            DEVICE_PROFILES["wearable"].storage_bytes
+            < DEVICE_PROFILES["smartphone"].storage_bytes
+        )
+        assert (
+            DEVICE_PROFILES["wearable"].relative_compute
+            <= DEVICE_PROFILES["raspberry-pi"].relative_compute
+        )

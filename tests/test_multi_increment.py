@@ -1,0 +1,53 @@
+"""Tests for the sequential multi-step incremental-learning extension experiment."""
+
+import pytest
+
+from repro.data.activities import Activity
+from repro.experiments import multi_increment
+from repro.experiments.common import ExperimentSettings
+
+
+@pytest.fixture(scope="module")
+def result():
+    settings = ExperimentSettings.quick(seed=5)
+    return multi_increment.run(
+        settings,
+        base_classes=(Activity.STILL, Activity.DRIVE),
+        increment_order=(Activity.WALK, Activity.RUN),
+    )
+
+
+class TestMultiIncrement:
+    def test_step_structure(self, result):
+        # One record for the base model plus one per increment.
+        assert len(result.step_classes) == 3
+        assert result.step_classes[0] == [int(Activity.STILL), int(Activity.DRIVE)]
+        assert int(Activity.RUN) in result.step_classes[-1]
+        assert set(result.step_accuracy) == {"pilote", "re-trained"}
+
+    def test_accuracies_are_valid(self, result):
+        for series in result.step_accuracy.values():
+            assert len(series) == 3
+            assert all(0.0 <= value <= 1.0 for value in series)
+
+    def test_base_step_is_strong(self, result):
+        # On two well-separated base classes both methods start out accurate.
+        assert result.step_accuracy["pilote"][0] > 0.8
+        assert result.step_accuracy["re-trained"][0] > 0.8
+
+    def test_summary_metrics(self, result):
+        for method in ("pilote", "re-trained"):
+            assert 0.0 <= result.average_incremental_accuracy(method) <= 1.0
+            # Backward transfer is a (usually negative) accuracy difference.
+            assert -1.0 <= result.backward_transfer(method) <= 1.0
+
+    def test_pilote_limits_forgetting_of_base_classes(self, result):
+        assert (
+            result.old_class_accuracy["pilote"][-1]
+            >= result.old_class_accuracy["re-trained"][-1] - 0.10
+        )
+
+    def test_to_text(self, result):
+        text = result.to_text()
+        assert "Sequential class-incremental" in text
+        assert "backward transfer" in text

@@ -1,0 +1,195 @@
+"""Tests for loss functions, including gradient checks and paper-equation semantics."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.gradcheck import check_gradients
+from repro.autodiff.tensor import Tensor
+from repro.exceptions import ShapeError
+from repro.nn.losses import (
+    ContrastiveLoss,
+    CrossEntropyLoss,
+    DistillationLoss,
+    JointIncrementalLoss,
+    LogitDistillationLoss,
+    MSELoss,
+)
+
+
+def _pair(seed, n=6, d=4):
+    rng = np.random.default_rng(seed)
+    left = Tensor(rng.normal(size=(n, d)), requires_grad=True)
+    right = Tensor(rng.normal(size=(n, d)), requires_grad=True)
+    labels = rng.integers(0, 2, size=n).astype(float)
+    return left, right, labels
+
+
+class TestContrastiveLoss:
+    def test_similar_pairs_penalise_distance(self):
+        loss = ContrastiveLoss(margin=1.0)
+        left = Tensor([[0.0, 0.0]])
+        right = Tensor([[3.0, 4.0]])
+        value = float(loss(left, right, [1.0]).data)
+        assert value == pytest.approx(25.0)  # squared distance
+
+    def test_dissimilar_pairs_beyond_margin_are_free(self):
+        loss = ContrastiveLoss(margin=1.0)
+        left = Tensor([[0.0, 0.0]])
+        right = Tensor([[3.0, 4.0]])
+        assert float(loss(left, right, [0.0]).data) == pytest.approx(0.0)
+
+    def test_dissimilar_pairs_within_margin_penalised(self):
+        loss = ContrastiveLoss(margin=2.0)
+        left = Tensor([[0.0, 0.0]])
+        right = Tensor([[1.0, 0.0]])
+        # m^2 - d^2 = 4 - 1 = 3 with the paper's squared variant.
+        assert float(loss(left, right, [0.0]).data) == pytest.approx(3.0)
+
+    def test_hadsell_variant_value(self):
+        loss = ContrastiveLoss(margin=2.0, variant="hadsell")
+        left = Tensor([[0.0, 0.0]])
+        right = Tensor([[1.0, 0.0]])
+        # (m - d)^2 = (2 - 1)^2 = 1
+        assert float(loss(left, right, [0.0]).data) == pytest.approx(1.0, abs=1e-5)
+
+    def test_sum_reduction(self):
+        loss = ContrastiveLoss(margin=1.0, reduction="sum")
+        left = Tensor([[1.0], [2.0]])
+        right = Tensor([[0.0], [0.0]])
+        assert float(loss(left, right, [1.0, 1.0]).data) == pytest.approx(5.0)
+
+    def test_gradients(self):
+        left, right, labels = _pair(0)
+        loss = ContrastiveLoss(margin=1.5)
+        assert check_gradients(lambda t: loss(t[0], t[1], labels), [left, right])
+
+    def test_hadsell_gradients(self):
+        left, right, labels = _pair(1)
+        loss = ContrastiveLoss(margin=1.5, variant="hadsell")
+        assert check_gradients(lambda t: loss(t[0], t[1], labels), [left, right])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            ContrastiveLoss()(Tensor(np.ones((2, 3))), Tensor(np.ones((3, 3))), [1, 0])
+
+    def test_label_count_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            ContrastiveLoss()(Tensor(np.ones((2, 3))), Tensor(np.ones((2, 3))), [1.0])
+
+    @pytest.mark.parametrize("bad_kwargs", [{"margin": 0.0}, {"variant": "foo"}, {"reduction": "max"}])
+    def test_invalid_construction(self, bad_kwargs):
+        with pytest.raises(ValueError):
+            ContrastiveLoss(**bad_kwargs)
+
+
+class TestDistillationLoss:
+    def test_zero_when_embeddings_match(self):
+        embeddings = Tensor(np.random.default_rng(0).normal(size=(4, 8)))
+        assert float(DistillationLoss()(embeddings, embeddings.detach()).data) == pytest.approx(0.0)
+
+    def test_value_is_mean_squared_distance(self):
+        new = Tensor([[1.0, 0.0], [0.0, 0.0]])
+        old = Tensor([[0.0, 0.0], [0.0, 2.0]])
+        assert float(DistillationLoss()(new, old).data) == pytest.approx((1.0 + 4.0) / 2)
+
+    def test_teacher_receives_no_gradient(self):
+        new = Tensor(np.ones((3, 2)), requires_grad=True)
+        old = Tensor(np.zeros((3, 2)), requires_grad=True)
+        DistillationLoss()(new, old).backward()
+        assert new.grad is not None
+        assert old.grad is None
+
+    def test_gradients(self):
+        new = Tensor(np.random.default_rng(3).normal(size=(5, 4)), requires_grad=True)
+        old = np.random.default_rng(4).normal(size=(5, 4))
+        assert check_gradients(lambda t: DistillationLoss()(t[0], Tensor(old)), [new])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            DistillationLoss()(Tensor(np.ones((2, 3))), Tensor(np.ones((2, 4))))
+
+
+class TestJointIncrementalLoss:
+    def test_alpha_zero_equals_contrastive(self):
+        left, right, labels = _pair(5)
+        joint = JointIncrementalLoss(alpha=0.0, margin=1.0)
+        contrastive = ContrastiveLoss(margin=1.0)
+        assert float(joint(left, right, labels).data) == pytest.approx(
+            float(contrastive(left, right, labels).data)
+        )
+
+    def test_missing_teacher_embeddings_skips_distillation(self):
+        left, right, labels = _pair(6)
+        joint = JointIncrementalLoss(alpha=0.5, margin=1.0)
+        contrastive = ContrastiveLoss(margin=1.0)
+        expected = 0.5 * float(contrastive(left, right, labels).data)
+        assert float(joint(left, right, labels).data) == pytest.approx(expected)
+
+    def test_combination_weights(self):
+        left, right, labels = _pair(7)
+        rng = np.random.default_rng(8)
+        student = Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        teacher = Tensor(rng.normal(size=(4, 4)))
+        joint = JointIncrementalLoss(alpha=0.3, margin=1.0)
+        value = float(joint(left, right, labels, student, teacher).data)
+        contrastive = float(ContrastiveLoss(margin=1.0)(left, right, labels).data)
+        distillation = float(DistillationLoss()(student, teacher).data)
+        assert value == pytest.approx(0.3 * distillation + 0.7 * contrastive)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(Exception):
+            JointIncrementalLoss(alpha=1.5)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        assert float(CrossEntropyLoss()(logits, [0, 1]).data) < 1e-6
+
+    def test_uniform_prediction_is_log_n(self):
+        logits = Tensor(np.zeros((3, 4)))
+        assert float(CrossEntropyLoss()(logits, [0, 1, 2]).data) == pytest.approx(np.log(4))
+
+    def test_sum_reduction(self):
+        logits = Tensor(np.zeros((2, 2)))
+        assert float(CrossEntropyLoss(reduction="sum")(logits, [0, 1]).data) == pytest.approx(
+            2 * np.log(2)
+        )
+
+    def test_gradients(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(5, 3)), requires_grad=True)
+        labels = np.array([0, 1, 2, 1, 0])
+        assert check_gradients(lambda t: CrossEntropyLoss()(t[0], labels), [logits])
+
+    def test_label_out_of_range_raises(self):
+        with pytest.raises(ShapeError):
+            CrossEntropyLoss()(Tensor(np.zeros((2, 2))), [0, 5])
+
+    def test_requires_2d_logits(self):
+        with pytest.raises(ShapeError):
+            CrossEntropyLoss()(Tensor(np.zeros(4)), [0])
+
+
+class TestLogitDistillationAndMSE:
+    def test_logit_distillation_minimised_at_equality(self):
+        logits = np.random.default_rng(0).normal(size=(4, 3))
+        loss = LogitDistillationLoss(temperature=2.0)
+        base = float(loss(Tensor(logits), Tensor(logits)).data)
+        perturbed = float(loss(Tensor(logits + 1.5), Tensor(logits)).data)
+        assert base <= perturbed
+
+    def test_logit_distillation_gradients(self):
+        new = Tensor(np.random.default_rng(1).normal(size=(4, 3)), requires_grad=True)
+        old = np.random.default_rng(2).normal(size=(4, 3))
+        loss = LogitDistillationLoss()
+        assert check_gradients(lambda t: loss(t[0], Tensor(old)), [new])
+
+    def test_logit_distillation_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            LogitDistillationLoss(temperature=0.0)
+
+    def test_mse_loss_value_and_gradient(self):
+        prediction = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        target = np.array([[0.0, 0.0]])
+        assert float(MSELoss()(prediction, target).data) == pytest.approx(2.5)
+        assert check_gradients(lambda t: MSELoss()(t[0], target), [prediction])

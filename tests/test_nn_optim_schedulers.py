@@ -1,0 +1,132 @@
+"""Tests for optimisers and learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.schedulers import ConstantLR, ExponentialDecayLR, HalvingLR, StepLR
+
+
+def _quadratic_step(optimizer, parameter):
+    """One optimisation step on f(w) = ||w||^2 / 2 (gradient = w)."""
+    optimizer.zero_grad()
+    loss = (parameter * parameter).sum() * 0.5
+    loss.backward()
+    optimizer.step()
+
+
+class TestOptimizers:
+    def test_sgd_descends_quadratic(self):
+        parameter = Parameter(np.array([4.0, -2.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        initial = float((parameter.data**2).sum())
+        for _ in range(50):
+            _quadratic_step(optimizer, parameter)
+        assert float((parameter.data**2).sum()) < initial * 1e-3
+
+    def test_sgd_momentum_converges(self):
+        parameter = Parameter(np.array([4.0, -2.0]))
+        optimizer = SGD([parameter], lr=0.05, momentum=0.9)
+        for _ in range(250):
+            _quadratic_step(optimizer, parameter)
+        assert np.allclose(parameter.data, 0.0, atol=1e-2)
+
+    def test_adam_descends_quadratic(self):
+        parameter = Parameter(np.array([4.0, -2.0, 1.0]))
+        optimizer = Adam([parameter], lr=0.2)
+        for _ in range(120):
+            _quadratic_step(optimizer, parameter)
+        assert np.allclose(parameter.data, 0.0, atol=1e-2)
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1, weight_decay=1.0)
+        optimizer.zero_grad()
+        (parameter * 0.0).sum().backward()
+        optimizer.step()
+        assert parameter.data[0] < 1.0
+
+    def test_skip_parameters_without_grad(self):
+        used = Parameter(np.array([1.0]))
+        unused = Parameter(np.array([5.0]))
+        optimizer = Adam([used, unused], lr=0.1)
+        _quadratic_step(optimizer, used)
+        assert unused.data[0] == pytest.approx(5.0)
+
+    def test_invalid_hyperparameters(self):
+        parameter = Parameter(np.array([1.0]))
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=-1.0)
+        with pytest.raises(ValueError):
+            SGD([parameter], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam([parameter], lr=0.1, betas=(1.5, 0.9))
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_set_lr_validation(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=0.1)
+        with pytest.raises(ValueError):
+            optimizer.set_lr(0.0)
+
+    def test_base_step_not_implemented(self):
+        optimizer = Optimizer([Parameter(np.array([1.0]))], lr=0.1)
+        with pytest.raises(NotImplementedError):
+            optimizer.step()
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=0.01):
+        return SGD([Parameter(np.array([1.0]))], lr=lr)
+
+    def test_halving_schedule_matches_paper(self):
+        optimizer = self._optimizer(0.01)
+        scheduler = HalvingLR(optimizer)
+        values = [scheduler.step() for _ in range(3)]
+        assert values == pytest.approx([0.005, 0.0025, 0.00125])
+        assert optimizer.lr == pytest.approx(0.00125)
+
+    def test_halving_respects_floor(self):
+        optimizer = self._optimizer(0.01)
+        scheduler = HalvingLR(optimizer, min_lr=1e-3)
+        for _ in range(20):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(1e-3)
+
+    def test_constant_schedule(self):
+        optimizer = self._optimizer(0.05)
+        scheduler = ConstantLR(optimizer)
+        scheduler.step()
+        assert optimizer.lr == pytest.approx(0.05)
+
+    def test_step_schedule(self):
+        optimizer = self._optimizer(1.0)
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        rates = [scheduler.step() for _ in range(4)]
+        assert rates == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_exponential_decay(self):
+        optimizer = self._optimizer(1.0)
+        scheduler = ExponentialDecayLR(optimizer, decay=0.5)
+        assert scheduler.step() == pytest.approx(0.5)
+        assert scheduler.step() == pytest.approx(0.25)
+
+    def test_current_lr_property(self):
+        optimizer = self._optimizer(0.3)
+        scheduler = ConstantLR(optimizer)
+        assert scheduler.current_lr == pytest.approx(0.3)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda opt: HalvingLR(opt, min_lr=0.0),
+            lambda opt: StepLR(opt, step_size=0),
+            lambda opt: StepLR(opt, gamma=0.0),
+            lambda opt: ExponentialDecayLR(opt, decay=1.5),
+        ],
+    )
+    def test_invalid_scheduler_arguments(self, factory):
+        with pytest.raises(ValueError):
+            factory(self._optimizer())

@@ -1,0 +1,147 @@
+"""Tests for the Trainer and the paper's early-stopping rule."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff.tensor import Tensor
+from repro.nn.layers import Linear, Sequential, ReLU
+from repro.nn.losses import CrossEntropyLoss, MSELoss
+from repro.nn.optim import Adam
+from repro.nn.schedulers import HalvingLR
+from repro.nn.trainer import EarlyStopping, Trainer, TrainingHistory
+
+
+class TestEarlyStopping:
+    def test_plateau_rule_from_paper(self):
+        stopper = EarlyStopping(threshold=1e-4, patience=5)
+        # 5 consecutive epochs with < 1e-4 change trigger a stop on the 6th value.
+        assert not stopper.update(1.0)
+        signals = [stopper.update(1.0 + 1e-6 * i) for i in range(1, 6)]
+        assert signals[-1] is True
+        assert all(not s for s in signals[:-1])
+
+    def test_large_changes_reset_streak(self):
+        stopper = EarlyStopping(threshold=1e-4, patience=3)
+        stopper.update(1.0)
+        stopper.update(1.00001)
+        stopper.update(0.5)  # big improvement resets
+        assert not stopper.update(0.50001)
+        assert not stopper.update(0.500011)
+
+    def test_increase_mode(self):
+        stopper = EarlyStopping(threshold=0.0, patience=2, mode="increase")
+        stopper.update(1.0)
+        assert not stopper.update(1.1)
+        assert stopper.update(1.2)
+
+    def test_reset(self):
+        stopper = EarlyStopping(threshold=1e-4, patience=1)
+        stopper.update(1.0)
+        stopper.update(1.0)
+        stopper.reset()
+        assert not stopper.update(1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(mode="bogus")
+
+
+class TestTrainingHistory:
+    def test_epoch_count_and_final_losses(self):
+        history = TrainingHistory(train_losses=[1.0, 0.5], validation_losses=[0.9, 0.6])
+        assert history.epochs_run == 2
+        assert history.final_train_loss() == 0.5
+        assert history.final_validation_loss() == 0.6
+
+    def test_empty_history_is_nan(self):
+        history = TrainingHistory()
+        assert np.isnan(history.final_train_loss())
+
+
+class TestTrainer:
+    def _regression_setup(self, seed=0):
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(120, 5))
+        true_weights = rng.normal(size=(5, 1))
+        targets = features @ true_weights
+        model = Sequential(Linear(5, 1, rng=seed))
+        criterion = MSELoss()
+
+        def batch_loss(batch_x, batch_y):
+            return criterion(model(Tensor(batch_x)), batch_y.reshape(-1, 1))
+
+        return model, batch_loss, features, targets
+
+    def test_training_reduces_loss(self):
+        model, batch_loss, features, targets = self._regression_setup()
+        optimizer = Adam(model.parameters(), lr=0.05)
+        trainer = Trainer(model, optimizer, max_epochs=20, batch_size=16, rng=0)
+        history = trainer.fit(batch_loss, features, targets.reshape(-1))
+        assert history.train_losses[-1] < history.train_losses[0] * 0.2
+
+    def test_early_stopping_halts_training(self):
+        model, batch_loss, features, targets = self._regression_setup(1)
+        optimizer = Adam(model.parameters(), lr=0.05)
+        trainer = Trainer(
+            model,
+            optimizer,
+            early_stopping=EarlyStopping(threshold=10.0, patience=2),  # huge threshold
+            max_epochs=50,
+            batch_size=16,
+            rng=0,
+        )
+        history = trainer.fit(
+            batch_loss,
+            features,
+            targets.reshape(-1),
+            validation=(features, targets.reshape(-1)),
+        )
+        assert history.stopped_early
+        assert history.epochs_run <= 4
+
+    def test_scheduler_is_applied(self):
+        model, batch_loss, features, targets = self._regression_setup(2)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        trainer = Trainer(
+            model, optimizer, scheduler=HalvingLR(optimizer), max_epochs=3, batch_size=32, rng=0
+        )
+        history = trainer.fit(batch_loss, features, targets.reshape(-1))
+        assert history.learning_rates[0] == pytest.approx(0.01)
+        assert optimizer.lr < 0.01
+
+    def test_model_left_in_eval_mode(self):
+        model, batch_loss, features, targets = self._regression_setup(3)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01), max_epochs=1, rng=0)
+        trainer.fit(batch_loss, features, targets.reshape(-1))
+        assert not model.training
+
+    def test_classification_training_improves_accuracy(self):
+        rng = np.random.default_rng(0)
+        features = np.concatenate([rng.normal(-2, 1, size=(60, 4)), rng.normal(2, 1, size=(60, 4))])
+        labels = np.array([0] * 60 + [1] * 60)
+        model = Sequential(Linear(4, 8, rng=0), ReLU(), Linear(8, 2, rng=1))
+        criterion = CrossEntropyLoss()
+
+        def batch_loss(batch_x, batch_y):
+            return criterion(model(Tensor(batch_x)), batch_y)
+
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.05), max_epochs=10, batch_size=16, rng=0)
+        trainer.fit(batch_loss, features, labels)
+        predictions = np.argmax(model(Tensor(features)).data, axis=1)
+        assert (predictions == labels).mean() > 0.9
+
+    def test_minibatch_iteration_covers_all_samples(self):
+        model, batch_loss, features, targets = self._regression_setup(4)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01), batch_size=32, rng=0)
+        total = sum(len(x) for x, _ in trainer.iterate_minibatches(features, targets.reshape(-1)))
+        assert total == features.shape[0]
+
+    def test_invalid_arguments(self):
+        model, _, _, _ = self._regression_setup(5)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        with pytest.raises(ValueError):
+            Trainer(model, optimizer, max_epochs=0)
+        with pytest.raises(ValueError):
+            Trainer(model, optimizer, batch_size=0)
