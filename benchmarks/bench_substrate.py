@@ -3,13 +3,19 @@
 These are not paper figures; they document the cost of the building blocks
 (synthetic data generation, feature extraction, autodiff forward/backward,
 herding selection, NCM prediction) so regressions in the substrate show up in
-the benchmark history.
+the benchmark history.  The allocation benchmarks at the bottom compare the
+seed implementations against the backend-vectorized hot paths on both axes
+the edge cares about: step time and peak allocations.
 """
+
+import time
+import tracemalloc
 
 import numpy as np
 import pytest
 
 from repro.autodiff.tensor import Tensor
+from repro.backend import get_backend, precision
 from repro.core.exemplars import herding_selection
 from repro.core.ncm import NCMClassifier
 from repro.data.activities import Activity
@@ -75,3 +81,101 @@ def test_ncm_prediction_latency(benchmark):
     queries = rng.normal(size=(512, 64))
     predictions = benchmark(lambda: classifier.predict(queries))
     assert predictions.shape == (512,)
+
+
+# --------------------------------------------------------------------------- #
+# step time + peak allocations: seed paths vs backend-vectorized paths
+# --------------------------------------------------------------------------- #
+
+
+def _peak_bytes_and_seconds(function):
+    """Run ``function`` under tracemalloc; return (peak bytes, wall seconds)."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    function()
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak, seconds
+
+
+def test_herding_step_time_and_peak_allocations(report):
+    """Herding before/after: the vectorized path must win on time AND memory."""
+    from bench_backend import legacy_herding_selection
+
+    rng = np.random.default_rng(0)
+    embeddings = rng.normal(size=(1500, 64))
+    budget = 250
+
+    legacy_peak, legacy_seconds = _peak_bytes_and_seconds(
+        lambda: legacy_herding_selection(embeddings, budget)
+    )
+    # Warm the workspace once so the measured step is the steady state the
+    # edge actually runs (buffers reused, no fresh allocations).
+    herding_selection(embeddings, embeddings, budget)
+    new_peak, new_seconds = _peak_bytes_and_seconds(
+        lambda: herding_selection(embeddings, embeddings, budget)
+    )
+    report(
+        "bench_substrate_herding_allocations",
+        "herding step (n=1500, d=64, m=250): time and peak tracemalloc bytes\n"
+        f"  legacy:     {legacy_seconds * 1e3:8.2f} ms   peak {legacy_peak / 1024:10.1f} KiB\n"
+        f"  vectorized: {new_seconds * 1e3:8.2f} ms   peak {new_peak / 1024:10.1f} KiB\n"
+        f"  time ratio: {legacy_seconds / max(new_seconds, 1e-9):8.2f}x   "
+        f"peak ratio: {legacy_peak / max(new_peak, 1):8.2f}x",
+    )
+    assert new_seconds < legacy_seconds
+    assert new_peak < legacy_peak
+
+
+def test_workspace_reuse_in_steady_state(report):
+    """Repeated herding steps hit the workspace pool instead of allocating."""
+    rng = np.random.default_rng(1)
+    embeddings = rng.normal(size=(800, 32))
+    workspace = get_backend().workspace
+    herding_selection(embeddings, embeddings, 100)  # warm up the pool
+    before = dict(workspace.stats())
+    for _ in range(5):
+        herding_selection(embeddings, embeddings, 100)
+    after = workspace.stats()
+    report(
+        "bench_substrate_workspace",
+        "workspace reuse across 5 steady-state herding steps\n"
+        f"  hits:   {before['hits']:6d} -> {after['hits']:6d}\n"
+        f"  misses: {before['misses']:6d} -> {after['misses']:6d}\n"
+        f"  pooled buffers: {after['buffers']}  ({after['nbytes'] / 1024:.1f} KiB)",
+    )
+    assert after["hits"] >= before["hits"] + 5
+    assert after["misses"] == before["misses"]
+
+
+def test_float32_profile_halves_serving_footprint(report):
+    """Embedding + distance buffers under the edge profile take half the bytes."""
+    rng = np.random.default_rng(2)
+    windows = rng.normal(size=(1024, 80))
+    references = rng.normal(size=(6, 32))
+    networks = {}
+    for profile, dtype in (("reference", np.float64), ("edge", np.float32)):
+        network = build_mlp([80, 128, 64, 32], rng=0)
+        network.eval()
+        for parameter in network.parameters():
+            parameter.data = parameter.data.astype(dtype)
+        networks[profile] = network
+
+    def serve(profile):
+        with precision(profile):
+            backend = get_backend()
+            batch = backend.asarray(windows)
+            embeddings = networks[profile](Tensor(batch)).data
+            return backend.pairwise_distances(embeddings, backend.asarray(references))
+
+    peak64, seconds64 = _peak_bytes_and_seconds(lambda: serve("reference"))
+    peak32, seconds32 = _peak_bytes_and_seconds(lambda: serve("edge"))
+    report(
+        "bench_substrate_dtype_footprint",
+        "serving 1024 windows: peak tracemalloc bytes by dtype profile\n"
+        f"  reference (float64): {peak64 / 1024:10.1f} KiB  {seconds64 * 1e3:7.2f} ms\n"
+        f"  edge      (float32): {peak32 / 1024:10.1f} KiB  {seconds32 * 1e3:7.2f} ms\n"
+        f"  footprint ratio:     {peak64 / max(peak32, 1):10.2f}x",
+    )
+    assert peak32 < peak64

@@ -19,16 +19,44 @@ Quick start::
     learner.learn_new_classes(scenario.new_train, scenario.new_validation)
     print("accuracy:", learner.evaluate(scenario.test))
 
+Compute backend
+---------------
+
+All numerics run through the pluggable compute backend
+(:mod:`repro.backend`), which owns three policy decisions:
+
+* **dtype policy** — leaf tensors and backend arrays use the global compute
+  dtype: ``float64`` in the default *reference* profile (seed-compatible,
+  required by gradient checking), ``float32`` under the *edge* profile used
+  by device profiles and benchmarks.  Switch with
+  ``repro.backend.precision("edge")`` (scoped) or
+  ``repro.backend.set_default_dtype`` (global); ``EdgeDevice.precision()``
+  applies a device profile's dtype.
+* **op registry** — every autodiff operation is a named forward/vjp record
+  (:mod:`repro.autodiff.primitives`), so the tape is inspectable
+  (``Tensor.trace()``) and ops are testable in isolation.
+* **workspace** — reusable scratch buffers so steady-state training/serving
+  steps stop allocating.
+
+Batched serving goes through
+:class:`repro.edge.inference.InferenceEngine` (also reachable as
+``learner.inference_engine()``), which caches the prototype matrix and
+invalidates it automatically when the learner integrates new classes.  The
+backend is the extension point for future accelerator or multi-device
+backends: implement :class:`repro.backend.Backend` and install it with
+:func:`repro.backend.set_backend`.
+
 See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for the
 paper-versus-measured comparison of every table and figure.
 """
 
+from repro.backend import Backend, NumpyBackend, get_backend, precision, set_backend
 from repro.core import PILOTE, PiloteConfig, EmbeddingNetwork, NCMClassifier
 from repro.data import Activity, HARDataset, build_incremental_scenario, make_feature_dataset
 from repro.baselines import PretrainedBaseline, RetrainedBaseline
-from repro.edge import MagnetoPlatform
+from repro.edge import InferenceEngine, MagnetoPlatform
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PILOTE",
@@ -42,5 +70,11 @@ __all__ = [
     "PretrainedBaseline",
     "RetrainedBaseline",
     "MagnetoPlatform",
+    "InferenceEngine",
+    "Backend",
+    "NumpyBackend",
+    "get_backend",
+    "set_backend",
+    "precision",
     "__version__",
 ]

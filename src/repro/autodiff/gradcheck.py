@@ -12,6 +12,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.autodiff.tensor import Tensor
+from repro.backend.policy import precision
 from repro.exceptions import GradientError
 
 
@@ -61,9 +62,37 @@ def check_gradients(
 
     Returns ``True`` when all gradients match within tolerance; raises
     :class:`~repro.exceptions.GradientError` (or returns ``False``) otherwise.
+
+    Gradient checking is a ``float64`` activity: central differences with the
+    default ``epsilon`` drown in ``float32`` rounding noise.  The whole check
+    therefore runs under the ``float64`` precision profile (so any leaf the
+    function creates internally is ``float64`` too), and ``float32`` inputs
+    are rejected with a clear error instead of producing flaky mismatches.
     """
     for tensor in inputs:
+        if tensor.data.dtype != np.float64:
+            raise GradientError(
+                "check_gradients requires float64 inputs (finite differences are "
+                f"unreliable in {tensor.data.dtype}); create the tensors under "
+                "precision('float64')"
+            )
         tensor.zero_grad()
+    with precision("gradcheck"):
+        return _check_float64(
+            function, inputs, epsilon=epsilon, atol=atol, rtol=rtol,
+            raise_on_failure=raise_on_failure,
+        )
+
+
+def _check_float64(
+    function: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    *,
+    epsilon: float,
+    atol: float,
+    rtol: float,
+    raise_on_failure: bool,
+) -> bool:
     output = function(inputs)
     if output.size != 1:
         raise GradientError("check_gradients requires a scalar-valued function")

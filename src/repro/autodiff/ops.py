@@ -1,8 +1,11 @@
 """Free-function tensor operations built on :class:`~repro.autodiff.tensor.Tensor`.
 
-These cover the handful of multi-input operations (concatenation, stacking)
-and the composite numerical helpers (softmax, log-softmax, pairwise distances)
-used by the neural-network layer and loss implementations.
+The multi-input primitives (concatenation, stacking) dispatch through the
+backend op registry — their forward/vjp rules live in
+:mod:`repro.autodiff.primitives` as named, individually testable records.
+The composite numerical helpers (softmax, log-softmax, pairwise distances)
+are expressed in terms of registered primitives, so their tapes remain fully
+named without needing dedicated backward rules.
 """
 
 from __future__ import annotations
@@ -11,48 +14,23 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backend.registry import apply as _apply
 from repro.autodiff.tensor import Tensor
 from repro.exceptions import ShapeError
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing back to each input."""
-    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
     if not tensors:
         raise ShapeError("concatenate requires at least one tensor")
-    data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.data.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
-
-    def backward(grad: np.ndarray) -> None:
-        grad = np.asarray(grad)
-        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-            if not tensor.requires_grad:
-                continue
-            slicer = [slice(None)] * grad.ndim
-            slicer[axis] = slice(int(start), int(stop))
-            tensor._accumulate(grad[tuple(slicer)])
-
-    reference = tensors[0]
-    return reference._make(data, tensors, backward)
+    return _apply("concatenate", *tensors, axis=axis)
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis."""
-    tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
     if not tensors:
         raise ShapeError("stack requires at least one tensor")
-    data = np.stack([t.data for t in tensors], axis=axis)
-
-    def backward(grad: np.ndarray) -> None:
-        grad = np.asarray(grad)
-        slices = np.split(grad, len(tensors), axis=axis)
-        for tensor, piece in zip(tensors, slices):
-            if tensor.requires_grad:
-                tensor._accumulate(np.squeeze(piece, axis=axis))
-
-    reference = tensors[0]
-    return reference._make(data, tensors, backward)
+    return _apply("stack", *tensors, axis=axis)
 
 
 def softmax(logits: Tensor, axis: int = -1) -> Tensor:

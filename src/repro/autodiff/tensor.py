@@ -1,9 +1,19 @@
 """Reverse-mode autodiff tensor.
 
 The design follows the classic "define-by-run" tape approach: every operation
-on :class:`Tensor` records the parent tensors and a closure computing the local
+on :class:`Tensor` dispatches a *named* op from the backend registry
+(:mod:`repro.backend.registry`); the resulting tape records carry the op name
+(``Tensor.op``), the parent tensors and a closure computing the local
 vector-Jacobian product.  ``Tensor.backward()`` topologically sorts the graph
-and accumulates gradients into ``.grad`` for every leaf that requires them.
+and accumulates gradients into ``.grad`` for every leaf that requires them;
+``Tensor.trace()`` exposes the recorded op sequence for inspection.
+
+Leaf tensors are materialised in the global compute dtype
+(:func:`repro.backend.policy.default_dtype` — ``float64`` reference profile by
+default, ``float32`` under the edge profile).  Interior nodes follow numpy
+promotion from their inputs, so a graph built from ``float64`` leaves stays
+``float64`` even while the global policy is ``float32`` — which is what keeps
+finite-difference gradient checking exact under an edge policy.
 
 Broadcasting is fully supported: gradients flowing back through broadcast
 operations are reduced (summed) over the broadcast axes so that ``t.grad``
@@ -17,6 +27,9 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backend import registry as _registry
+from repro.backend.policy import DtypeLike, default_dtype
+from repro.backend.registry import apply as _apply
 from repro.exceptions import GradientError, ShapeError
 
 ArrayLike = Union[float, int, np.ndarray, Sequence, "Tensor"]
@@ -62,27 +75,32 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64`` by default.
+        Array-like payload; converted to the policy compute dtype by default.
     requires_grad:
         Whether gradients should be accumulated into ``.grad`` on backward.
     name:
         Optional human-readable identifier (used in error messages).
+    dtype:
+        Explicit dtype override; when omitted, leaves use the global compute
+        dtype (:func:`repro.backend.policy.default_dtype`).
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents")
+    __slots__ = ("data", "grad", "requires_grad", "name", "op", "_backward", "_parents")
 
     def __init__(
         self,
         data: ArrayLike,
         requires_grad: bool = False,
         name: Optional[str] = None,
+        dtype: Optional[DtypeLike] = None,
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=dtype if dtype is not None else default_dtype())
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: Optional[np.ndarray] = None
         self.name = name
+        self.op: Optional[str] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple[Tensor, ...] = ()
 
@@ -101,13 +119,18 @@ class Tensor:
     def size(self) -> int:
         return int(self.data.size)
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
     def __len__(self) -> int:
         return len(self.data)
 
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
         label = f", name={self.name!r}" if self.name else ""
-        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+        op_label = f", op={self.op!r}" if self.op else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label}{op_label})"
 
     def numpy(self) -> np.ndarray:
         """Return the underlying data as a (read-write) numpy array."""
@@ -115,11 +138,19 @@ class Tensor:
 
     def item(self) -> float:
         """Return the value of a single-element tensor as a Python float."""
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ShapeError(
+                f"item() requires a tensor with exactly one element, got shape {self.shape}"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut off from the graph."""
-        return Tensor(self.data, requires_grad=False, name=self.name)
+        return Tensor(self.data, requires_grad=False, name=self.name, dtype=self.data.dtype)
+
+    def astype(self, dtype: DtypeLike) -> "Tensor":
+        """A detached copy of this tensor in another dtype."""
+        return Tensor(self.data, requires_grad=False, name=self.name, dtype=dtype)
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
@@ -137,236 +168,129 @@ class Tensor:
         data: np.ndarray,
         parents: Iterable["Tensor"],
         backward: Callable[[np.ndarray], None],
+        op: Optional[str] = None,
     ) -> "Tensor":
-        """Create a result tensor, wiring the backward closure when needed."""
+        """Create a result tensor, wiring the backward closure when needed.
+
+        The computed dtype is preserved (interior nodes follow numpy promotion
+        rather than the leaf policy) and ``op`` names the tape record.
+        """
         parents = tuple(parents)
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
+        data = np.asarray(data)
+        out = Tensor(data, requires_grad=requires, dtype=data.dtype)
+        out.op = op
         if requires:
             out._parents = parents
             out._backward = backward
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
             self.grad = self.grad + grad
 
     # ------------------------------------------------------------------ #
-    # arithmetic
+    # tape inspection
+    # ------------------------------------------------------------------ #
+    def trace(self) -> List[Tuple[str, Tuple[int, ...]]]:
+        """The recorded graph as ``(op name, shape)`` pairs in topological order.
+
+        Leaves (no recorded op) are reported as ``"leaf"``.  Only nodes kept
+        alive for the backward pass appear — inference-mode results under
+        :func:`no_grad` have an empty tape beyond themselves.
+        """
+        ordered: List[Tensor] = []
+        seen = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                ordered.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+        return [(node.op or "leaf", node.shape) for node in ordered]
+
+    # ------------------------------------------------------------------ #
+    # arithmetic (dispatched through the op registry)
     # ------------------------------------------------------------------ #
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = self._ensure(other)
-        out_data = self.data + other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad)
-            if other.requires_grad:
-                other._accumulate(grad)
-
-        return self._make(out_data, (self, other), backward)
+        return _apply("add", self, other)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(-grad)
-
-        return self._make(-self.data, (self,), backward)
+        return _apply("neg", self)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other = self._ensure(other)
-        out_data = self.data - other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad)
-            if other.requires_grad:
-                other._accumulate(-grad)
-
-        return self._make(out_data, (self, other), backward)
+        return _apply("sub", self, other)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return self._ensure(other).__sub__(self)
+        return _apply("sub", self._ensure(other), self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = self._ensure(other)
-        out_data = self.data * other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * other.data)
-            if other.requires_grad:
-                other._accumulate(grad * self.data)
-
-        return self._make(out_data, (self, other), backward)
+        return _apply("mul", self, other)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = self._ensure(other)
-        out_data = self.data / other.data
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad / other.data)
-            if other.requires_grad:
-                other._accumulate(-grad * self.data / (other.data**2))
-
-        return self._make(out_data, (self, other), backward)
+        return _apply("div", self, other)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return self._ensure(other).__truediv__(self)
+        return _apply("div", self._ensure(other), self)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
             raise TypeError("tensor exponents are not supported; use exp/log instead")
-        exponent = float(exponent)
-        out_data = self.data**exponent
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1.0))
-
-        return self._make(out_data, (self,), backward)
+        return _apply("pow", self, exponent=float(exponent))
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = self._ensure(other)
         if self.data.ndim < 1 or other.data.ndim < 1:
             raise ShapeError("matmul requires at least 1-dimensional operands")
-        out_data = self.data @ other.data
-
-        def backward(grad: np.ndarray) -> None:
-            a, b = self.data, other.data
-            if a.ndim == 2 and b.ndim == 2:
-                if self.requires_grad:
-                    self._accumulate(grad @ b.T)
-                if other.requires_grad:
-                    other._accumulate(a.T @ grad)
-            elif a.ndim == 1 and b.ndim == 2:
-                if self.requires_grad:
-                    self._accumulate(grad @ b.T)
-                if other.requires_grad:
-                    other._accumulate(np.outer(a, grad))
-            elif a.ndim == 2 and b.ndim == 1:
-                if self.requires_grad:
-                    self._accumulate(np.outer(grad, b))
-                if other.requires_grad:
-                    other._accumulate(a.T @ grad)
-            elif a.ndim == 1 and b.ndim == 1:
-                if self.requires_grad:
-                    self._accumulate(grad * b)
-                if other.requires_grad:
-                    other._accumulate(grad * a)
-            else:  # pragma: no cover - not used by the library
-                raise ShapeError(
-                    f"matmul backward unsupported for shapes {a.shape} @ {b.shape}"
-                )
-
-        return self._make(out_data, (self, other), backward)
+        return _apply("matmul", self, other)
 
     # ------------------------------------------------------------------ #
     # elementwise non-linearities
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * out_data)
-
-        return self._make(out_data, (self,), backward)
+        return _apply("exp", self)
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad / self.data)
-
-        return self._make(out_data, (self,), backward)
+        return _apply("log", self)
 
     def sqrt(self) -> "Tensor":
-        out_data = np.sqrt(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-300))
-
-        return self._make(out_data, (self,), backward)
+        return _apply("sqrt", self)
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out_data = self.data * mask
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * mask)
-
-        return self._make(out_data, (self,), backward)
+        return _apply("relu", self)
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * out_data * (1.0 - out_data))
-
-        return self._make(out_data, (self,), backward)
+        return _apply("sigmoid", self)
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * (1.0 - out_data**2))
-
-        return self._make(out_data, (self,), backward)
+        return _apply("tanh", self)
 
     def clamp_min(self, minimum: float) -> "Tensor":
         """Elementwise ``max(x, minimum)`` (sub-gradient 0 where clipped)."""
-        mask = self.data > minimum
-        out_data = np.maximum(self.data, minimum)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * mask)
-
-        return self._make(out_data, (self,), backward)
+        return _apply("clamp_min", self, minimum=float(minimum))
 
     def abs(self) -> "Tensor":
-        out_data = np.abs(self.data)
-        sign = np.sign(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad * sign)
-
-        return self._make(out_data, (self,), backward)
+        return _apply("abs", self)
 
     # ------------------------------------------------------------------ #
     # reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            grad = np.asarray(grad, dtype=np.float64)
-            if axis is None:
-                expanded = np.broadcast_to(grad, self.data.shape)
-            else:
-                if not keepdims:
-                    grad = np.expand_dims(grad, axis=axis)
-                expanded = np.broadcast_to(grad, self.data.shape)
-            self._accumulate(expanded)
-
-        return self._make(out_data, (self,), backward)
+        return _apply("sum", self, axis=axis, keepdims=keepdims)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -377,25 +301,7 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            if not self.requires_grad:
-                return
-            grad = np.asarray(grad, dtype=np.float64)
-            if axis is None:
-                full_max = out_data
-                mask = (self.data == full_max).astype(np.float64)
-                mask /= mask.sum()
-                self._accumulate(mask * grad)
-            else:
-                expanded_max = self.data.max(axis=axis, keepdims=True)
-                mask = (self.data == expanded_max).astype(np.float64)
-                mask /= mask.sum(axis=axis, keepdims=True)
-                g = grad if keepdims else np.expand_dims(grad, axis=axis)
-                self._accumulate(mask * g)
-
-        return self._make(out_data, (self,), backward)
+        return _apply("max", self, axis=axis, keepdims=keepdims)
 
     # ------------------------------------------------------------------ #
     # shape manipulation
@@ -403,42 +309,17 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        original = self.data.shape
-        out_data = self.data.reshape(shape)
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(np.asarray(grad).reshape(original))
-
-        return self._make(out_data, (self,), backward)
+        return _apply("reshape", self, shape=shape)
 
     def transpose(self, axes: Optional[Tuple[int, ...]] = None) -> "Tensor":
-        out_data = np.transpose(self.data, axes)
-        if axes is None:
-            inverse = None
-        else:
-            inverse = tuple(np.argsort(axes))
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(np.transpose(np.asarray(grad), inverse))
-
-        return self._make(out_data, (self,), backward)
+        return _apply("transpose", self, axes=axes)
 
     @property
     def T(self) -> "Tensor":  # noqa: N802 - mirrors numpy naming
         return self.transpose()
 
     def __getitem__(self, index) -> "Tensor":
-        out_data = self.data[index]
-
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                full = np.zeros_like(self.data)
-                np.add.at(full, index, np.asarray(grad, dtype=np.float64))
-                self._accumulate(full)
-
-        return self._make(out_data, (self,), backward)
+        return _apply("getitem", self, index=index)
 
     # ------------------------------------------------------------------ #
     # backward pass
@@ -461,7 +342,7 @@ class Tensor:
                     f"got shape {self.data.shape}"
                 )
             gradient = np.ones_like(self.data)
-        gradient = np.asarray(gradient, dtype=np.float64)
+        gradient = np.asarray(gradient, dtype=self.data.dtype)
         if gradient.shape != self.data.shape:
             gradient = np.broadcast_to(gradient, self.data.shape).copy()
 
@@ -501,3 +382,10 @@ class Tensor:
     def __lt__(self, other: ArrayLike) -> np.ndarray:
         other = other.data if isinstance(other, Tensor) else other
         return self.data < other
+
+
+# Bind the tensor class into the registry (breaks the import cycle) and load
+# the primitive op definitions so every method above can dispatch.
+_registry.bind_tensor(Tensor)
+
+from repro.autodiff import primitives as _primitives  # noqa: E402,F401  (registers ops)

@@ -1,0 +1,84 @@
+"""Global dtype policy for the compute stack.
+
+Every leaf tensor and every array materialised through the backend follows a
+single process-wide *compute dtype*.  The reproduction historically ran all
+numerics in ``float64``; on the extreme edge that doubles memory traffic and
+halves SIMD throughput for no accuracy benefit, so the policy makes the
+precision an explicit, switchable decision:
+
+* ``"reference"`` profile — ``float64``, bit-compatible with the seed
+  implementation and required by finite-difference gradient checking;
+* ``"edge"`` profile — ``float32``, the serving/training precision used by the
+  edge device profiles and the performance benchmarks.
+
+The policy is intentionally tiny: a module-level default plus the
+:func:`precision` context manager for scoped overrides.  Interior autodiff
+nodes follow numpy promotion from their inputs, so a graph built from
+``float64`` leaves stays ``float64`` even while the global default is
+``float32`` (this is what keeps gradcheck exact under an edge policy).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+DtypeLike = Union[str, type, np.dtype]
+
+#: Named precision profiles.  ``edge`` is what the device profiles default to;
+#: ``reference`` matches the seed implementation and the gradcheck tolerances.
+PROFILE_DTYPES = {
+    "edge": np.dtype(np.float32),
+    "reference": np.dtype(np.float64),
+    "gradcheck": np.dtype(np.float64),
+}
+
+_SUPPORTED = (np.dtype(np.float32), np.dtype(np.float64))
+
+_default_dtype = np.dtype(np.float64)
+
+
+def resolve_dtype(dtype: DtypeLike) -> np.dtype:
+    """Normalise a dtype-like or profile name to a supported numpy dtype."""
+    if isinstance(dtype, str) and dtype in PROFILE_DTYPES:
+        return PROFILE_DTYPES[dtype]
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError as exc:
+        raise ConfigurationError(f"unknown dtype or profile {dtype!r}") from exc
+    if resolved not in _SUPPORTED:
+        raise ConfigurationError(
+            f"compute dtype must be float32 or float64, got {resolved}"
+        )
+    return resolved
+
+
+def default_dtype() -> np.dtype:
+    """The process-wide compute dtype used for leaf tensors and backend arrays."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype: DtypeLike) -> np.dtype:
+    """Set the global compute dtype; returns the previous one."""
+    global _default_dtype
+    previous = _default_dtype
+    _default_dtype = resolve_dtype(dtype)
+    return previous
+
+
+@contextlib.contextmanager
+def precision(dtype: DtypeLike) -> Iterator[np.dtype]:
+    """Scoped dtype override, e.g. ``with precision("edge"): ...``.
+
+    Accepts either a dtype (``"float32"``, ``np.float64``) or a profile name
+    from :data:`PROFILE_DTYPES`.
+    """
+    previous = set_default_dtype(dtype)
+    try:
+        yield _default_dtype
+    finally:
+        set_default_dtype(previous)

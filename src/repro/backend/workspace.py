@@ -1,0 +1,76 @@
+"""Reusable scratch buffers for repeated numeric steps.
+
+Training and serving on the edge run the *same* shapes over and over (one
+herding step per exemplar, one distance matrix per batch).  Allocating those
+temporaries anew on every step costs both time and peak memory on devices
+with tens of megabytes of RAM.  A :class:`Workspace` hands out scratch arrays
+keyed by ``(shape, dtype)`` and reuses them across requests, so steady-state
+steps allocate nothing.
+
+Buffers are plain numpy arrays with **undefined contents** on request; the
+caller owns a buffer only until the next request for the same key.  The
+workspace is deliberately not re-entrant — hot loops are single-threaded on
+the devices this targets — and :meth:`clear` drops everything, e.g. between
+training phases with different shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.backend.policy import DtypeLike, default_dtype, resolve_dtype
+
+
+class Workspace:
+    """Pool of reusable scratch arrays keyed by shape and dtype."""
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, Tuple[int, ...], np.dtype], np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    def request(self, shape, dtype: Optional[DtypeLike] = None, tag: str = "") -> np.ndarray:
+        """Return a scratch array of ``shape``; contents are undefined.
+
+        The same array is returned for repeated requests with the same shape,
+        dtype and ``tag``, so steady-state loops stop allocating.  ``tag``
+        separates buffers that may coincide in shape within one computation.
+        """
+        shape = (int(shape),) if np.isscalar(shape) else tuple(int(s) for s in shape)
+        resolved = resolve_dtype(dtype) if dtype is not None else default_dtype()
+        key = (tag, shape, resolved)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = np.empty(shape, dtype=resolved)
+            self._buffers[key] = buffer
+            self.misses += 1
+        else:
+            self.hits += 1
+        return buffer
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (and reset the hit/miss counters)."""
+        self._buffers.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool."""
+        return int(sum(buffer.nbytes for buffer in self._buffers.values()))
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    def stats(self) -> Dict[str, int]:
+        """Reuse statistics — useful in benchmarks and regression tests."""
+        return {
+            "buffers": len(self._buffers),
+            "nbytes": self.nbytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.autodiff.tensor import Tensor, no_grad
+from repro.backend import get_backend
 from repro.core.pilote import PILOTE
 from repro.data.dataset import HARDataset
 from repro.exceptions import ConfigurationError, DataError, NotFittedError
@@ -138,7 +139,7 @@ class SoftmaxClassifier(Module):
 
     def embed(self, features: np.ndarray, batch_size: int = 512) -> np.ndarray:
         """Penultimate (backbone) representation, inference mode."""
-        features = np.asarray(features, dtype=np.float64)
+        features = get_backend().asarray(features)
         if features.ndim == 1:
             features = features[None, :]
         was_training = self.training
@@ -153,7 +154,7 @@ class SoftmaxClassifier(Module):
 
     def logits(self, features: np.ndarray, batch_size: int = 512) -> np.ndarray:
         """Class logits, inference mode."""
-        features = np.asarray(features, dtype=np.float64)
+        features = get_backend().asarray(features)
         if features.ndim == 1:
             features = features[None, :]
         was_training = self.training

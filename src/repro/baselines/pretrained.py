@@ -91,4 +91,4 @@ class PretrainedBaseline(IncrementalLearner):
         return self
 
     def predict(self, features: np.ndarray) -> np.ndarray:
-        return self._learner.predict(features)
+        return self._learner.inference_engine().predict(features)

@@ -67,4 +67,4 @@ class RetrainedBaseline(IncrementalLearner):
         return self
 
     def predict(self, features: np.ndarray) -> np.ndarray:
-        return self._learner.predict(features)
+        return self._learner.inference_engine().predict(features)

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.autodiff import ops
 from repro.autodiff.tensor import Tensor, no_grad
+from repro.backend import get_backend
 from repro.core.config import PiloteConfig
 from repro.exceptions import ShapeError
 from repro.nn.layers import Sequential, build_mlp
@@ -75,7 +76,7 @@ class EmbeddingNetwork(Module):
         Large inputs are processed in chunks to bound peak memory on
         resource-constrained devices.
         """
-        features = np.asarray(features, dtype=np.float64)
+        features = get_backend().asarray(features)
         if features.ndim == 1:
             features = features[None, :]
         was_training = self.training

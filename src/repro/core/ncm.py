@@ -3,6 +3,12 @@
 Given class prototypes ``μ_y``, a sample is assigned to the class whose
 prototype is nearest to its embedding.  The classifier itself holds no
 trainable parameters, which is what makes it cheap enough for the edge.
+
+The hot path is fully vectorized through the compute backend: the prototype
+matrix and the class-id lookup array are cached at fit time (refreshed
+automatically via the store's mutation counter), distances go through one
+GEMM-based kernel, and predictions map argmin indices to class ids with a
+single ``take`` instead of a per-row Python loop.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.backend import default_dtype, get_backend
 from repro.core.prototypes import PrototypeStore
 from repro.exceptions import DataError, NotFittedError
 
@@ -24,6 +31,9 @@ class NCMClassifier:
         self.metric = metric
         self._store: Optional[PrototypeStore] = None
         self._classes: List[int] = []
+        self._class_ids: Optional[np.ndarray] = None
+        self._prototype_matrix: Optional[np.ndarray] = None
+        self._cached_version: Optional[int] = None
 
     # ------------------------------------------------------------------ #
     def fit(self, prototypes) -> "NCMClassifier":
@@ -40,7 +50,32 @@ class NCMClassifier:
             raise DataError("cannot fit an NCM classifier with zero prototypes")
         self._store = store
         self._classes = store.classes
+        self._class_ids = np.asarray(self._classes, dtype=np.int64)
+        self._refresh_cache()
         return self
+
+    def _refresh_cache(self) -> None:
+        """(Re)build the cached prototype matrix in the policy compute dtype."""
+        assert self._store is not None
+        self._prototype_matrix = get_backend().asarray(self._store.as_matrix(self._classes))
+        self._cached_version = self._store.version
+
+    def prototype_matrix(self) -> np.ndarray:
+        """The cached ``(n_classes, d)`` prototype matrix (row order = classes).
+
+        Rebuilt when the store mutates (version bump) or the dtype policy
+        changes — a classifier fitted under the reference profile must not
+        keep serving float64 prototypes inside an edge-precision scope.
+        """
+        if self._store is None:
+            raise NotFittedError("the NCM classifier has not been fitted")
+        if (
+            self._cached_version != self._store.version
+            or self._prototype_matrix is None
+            or self._prototype_matrix.dtype != default_dtype()
+        ):
+            self._refresh_cache()
+        return self._prototype_matrix
 
     @property
     def classes_(self) -> List[int]:
@@ -53,26 +88,23 @@ class NCMClassifier:
         """Distance of every embedding to every class prototype ``(n, n_classes)``."""
         if self._store is None:
             raise NotFittedError("the NCM classifier has not been fitted")
-        embeddings = np.asarray(embeddings, dtype=np.float64)
+        backend = get_backend()
+        embeddings = backend.asarray(embeddings)
         if embeddings.ndim == 1:
             embeddings = embeddings[None, :]
-        prototypes = self._store.as_matrix(self._classes)
+        prototypes = self.prototype_matrix()
         if embeddings.shape[1] != prototypes.shape[1]:
             raise DataError(
                 f"embeddings have dimension {embeddings.shape[1]}, prototypes "
                 f"{prototypes.shape[1]}"
             )
-        if self.metric == "euclidean":
-            deltas = embeddings[:, None, :] - prototypes[None, :, :]
-            return np.linalg.norm(deltas, axis=2)
-        normalised_e = embeddings / (np.linalg.norm(embeddings, axis=1, keepdims=True) + 1e-12)
-        normalised_p = prototypes / (np.linalg.norm(prototypes, axis=1, keepdims=True) + 1e-12)
-        return 1.0 - normalised_e @ normalised_p.T
+        return backend.pairwise_distances(embeddings, prototypes, metric=self.metric)
 
     def predict(self, embeddings: np.ndarray) -> np.ndarray:
         """Class id of the nearest prototype for every embedding."""
         nearest = np.argmin(self.distances(embeddings), axis=1)
-        return np.asarray([self._classes[index] for index in nearest], dtype=np.int64)
+        assert self._class_ids is not None
+        return self._class_ids.take(nearest)
 
     def predict_scores(self, embeddings: np.ndarray) -> np.ndarray:
         """Soft scores (negative distances, softmax-normalised) per class."""

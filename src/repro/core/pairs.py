@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.exceptions import DataError
 from repro.utils.rng import RandomState, resolve_rng
 
@@ -35,7 +36,7 @@ class PairBatch:
     def __post_init__(self) -> None:
         self.left = np.asarray(self.left, dtype=np.int64)
         self.right = np.asarray(self.right, dtype=np.int64)
-        self.same_class = np.asarray(self.same_class, dtype=np.float64)
+        self.same_class = get_backend().asarray(self.same_class)
         if not (self.left.shape == self.right.shape == self.same_class.shape):
             raise DataError("pair index arrays must share the same shape")
 
@@ -103,7 +104,10 @@ class PairSampler:
             if not new_classes:
                 raise DataError("new_centred pair sampling requires the set of new classes")
             new_ids = np.asarray(sorted(int(c) for c in new_classes))
-            involves_new = np.isin(labels[left], new_ids) | np.isin(labels[right], new_ids)
+            # Membership is resolved once per row, then gathered per pair —
+            # O(n log c) instead of O(n² log c) isin calls over pair arrays.
+            row_is_new = np.isin(labels, new_ids)
+            involves_new = row_is_new[left] | row_is_new[right]
             left, right = left[involves_new], right[involves_new]
             if left.size == 0:
                 # Fall back to all pairs (e.g. a batch containing only exemplars).
@@ -111,7 +115,7 @@ class PairSampler:
         if left.size > self.max_pairs:
             chosen = self._rng.choice(left.size, size=self.max_pairs, replace=False)
             left, right = left[chosen], right[chosen]
-        same = (labels[left] == labels[right]).astype(np.float64)
+        same = labels[left] == labels[right]
         return PairBatch(left=left, right=right, same_class=same)
 
     # ------------------------------------------------------------------ #
@@ -140,7 +144,7 @@ class PairSampler:
         return PairBatch(
             left=left,
             right=right,
-            same_class=(labels[left] == labels[right]).astype(np.float64),
+            same_class=labels[left] == labels[right],
         )
 
 

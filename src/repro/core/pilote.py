@@ -79,6 +79,7 @@ class PILOTE:
         self._distillation = DistillationLoss()
         self._pretrain_dataset: Optional[HARDataset] = None
         self._classifier_ready = False
+        self._state_version = 0
 
     # ------------------------------------------------------------------ #
     # properties
@@ -99,6 +100,15 @@ class PILOTE:
     @property
     def new_classes(self) -> List[int]:
         return list(self._new_classes)
+
+    @property
+    def state_version(self) -> int:
+        """Monotonic counter bumped whenever prototypes/classifier state changes.
+
+        Serving-side caches (:class:`repro.edge.inference.InferenceEngine`)
+        compare against this to know when to rebuild their prototype matrix.
+        """
+        return self._state_version
 
     # ------------------------------------------------------------------ #
     # cloud pre-training
@@ -280,6 +290,22 @@ class PILOTE:
         self._ensure_classifier()
         return self.classifier.predict_scores(self.embed(features))
 
+    def inference_engine(self, *, batch_size: int = 256) -> "InferenceEngine":
+        """A batched serving engine bound to this learner (created lazily).
+
+        The engine caches the prototype matrix and embeds many windows per
+        call; it tracks :attr:`state_version` so incremental updates
+        (:meth:`learn_new_classes`, :meth:`build_support_set`) invalidate the
+        cache automatically.  Repeated calls return the same engine instance.
+        """
+        from repro.edge.inference import InferenceEngine
+
+        engine = getattr(self, "_engine", None)
+        if engine is None or engine.batch_size != batch_size:
+            engine = InferenceEngine(self, batch_size=batch_size)
+            self._engine = engine
+        return engine
+
     def evaluate(self, dataset: HARDataset) -> float:
         """Plain accuracy of the learner on a labelled dataset."""
         predictions = self.predict(dataset.features)
@@ -324,6 +350,7 @@ class PILOTE:
         if len(self.prototypes) > 0:
             self.classifier = NCMClassifier().fit(self.prototypes)
             self._classifier_ready = True
+        self._state_version += 1
 
     def _ensure_classifier(self) -> None:
         if not self._classifier_ready:
@@ -331,6 +358,7 @@ class PILOTE:
                 raise NotFittedError("no prototypes available; train the model first")
             self.classifier = NCMClassifier().fit(self.prototypes)
             self._classifier_ready = True
+            self._state_version += 1
 
     def _run_training(
         self,

@@ -11,6 +11,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.exceptions import DataError, NotFittedError
 
 
@@ -26,7 +27,8 @@ def compute_class_prototypes(
     labels:
         ``(n,)`` integer class ids.
     """
-    embeddings = np.asarray(embeddings, dtype=np.float64)
+    backend = get_backend()
+    embeddings = backend.asarray(embeddings)
     labels = np.asarray(labels).reshape(-1)
     if embeddings.ndim != 2:
         raise DataError(f"embeddings must be 2-D, got shape {embeddings.shape}")
@@ -34,18 +36,27 @@ def compute_class_prototypes(
         raise DataError(
             f"got {labels.shape[0]} labels for {embeddings.shape[0]} embeddings"
         )
-    prototypes: Dict[int, np.ndarray] = {}
-    for class_id in np.unique(labels):
-        prototypes[int(class_id)] = embeddings[labels == class_id].mean(axis=0)
-    return prototypes
+    class_ids, means = backend.grouped_means(embeddings, labels)
+    return {int(class_id): mean for class_id, mean in zip(class_ids, means)}
 
 
 class PrototypeStore:
-    """Mutable mapping ``class id → prototype vector``."""
+    """Mutable mapping ``class id → prototype vector``.
+
+    The store keeps a monotonically increasing ``version`` that bumps on
+    every mutation; downstream caches (the NCM classifier's prototype matrix,
+    the batched inference engine) use it to detect staleness cheaply.
+    """
 
     def __init__(self, embedding_dim: Optional[int] = None) -> None:
         self._prototypes: Dict[int, np.ndarray] = {}
         self._embedding_dim = embedding_dim
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter used by downstream caches to detect staleness."""
+        return self._version
 
     # ------------------------------------------------------------------ #
     def set(self, class_id: int, prototype: np.ndarray) -> None:
@@ -59,6 +70,7 @@ class PrototypeStore:
                 f"expected {self._embedding_dim}"
             )
         self._prototypes[int(class_id)] = prototype
+        self._version += 1
 
     def update_from(self, embeddings: np.ndarray, labels: np.ndarray) -> None:
         """Recompute prototypes for every class present in ``labels``."""
@@ -71,7 +83,8 @@ class PrototypeStore:
         return self._prototypes[int(class_id)]
 
     def remove(self, class_id: int) -> None:
-        self._prototypes.pop(int(class_id), None)
+        if self._prototypes.pop(int(class_id), None) is not None:
+            self._version += 1
 
     def __contains__(self, class_id: int) -> bool:
         return int(class_id) in self._prototypes

@@ -7,10 +7,14 @@ back to the cloud.  This package models that pipeline: storage/latency budgets
 (:class:`EdgeDevice`), the cloud side (:class:`CloudServer`), the transfer
 payload and its byte size (:class:`TransferPackage`), end-to-end orchestration
 (:class:`MagnetoPlatform`) and a small profiler used by the Q2 experiments.
+Serving runs through the batched :class:`InferenceEngine`, which caches the
+prototype matrix and follows the learner's state version across incremental
+updates.
 """
 
 from repro.edge.device import DeviceProfile, EdgeDevice
 from repro.edge.cloud import CloudServer
+from repro.edge.inference import InferenceEngine
 from repro.edge.transfer import TransferPackage, package_for_edge
 from repro.edge.magneto import MagnetoPlatform
 from repro.edge.profiler import EdgeProfiler, LatencyReport
@@ -19,6 +23,7 @@ __all__ = [
     "EdgeDevice",
     "DeviceProfile",
     "CloudServer",
+    "InferenceEngine",
     "TransferPackage",
     "package_for_edge",
     "MagnetoPlatform",

@@ -10,9 +10,15 @@ experiment harness enforce edge constraints explicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
-from repro.exceptions import EdgeResourceError
+import numpy as np
+
+from repro.backend import precision
+from repro.exceptions import EdgeResourceError, NotFittedError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.edge.inference import InferenceEngine
 
 
 @dataclass(frozen=True)
@@ -36,12 +42,17 @@ class DeviceProfile:
     storage_bytes: int
     memory_bytes: int
     relative_compute: float = 1.0
+    compute_dtype: str = "float32"
 
     def __post_init__(self) -> None:
         if self.storage_bytes <= 0 or self.memory_bytes <= 0:
             raise EdgeResourceError("storage and memory budgets must be positive")
         if self.relative_compute <= 0:
             raise EdgeResourceError("relative_compute must be positive")
+        if self.compute_dtype not in ("float32", "float64"):
+            raise EdgeResourceError(
+                f"compute_dtype must be 'float32' or 'float64', got {self.compute_dtype!r}"
+            )
 
 
 #: A handful of representative device profiles used in examples and benchmarks.
@@ -67,6 +78,8 @@ class EdgeDevice:
     def __init__(self, profile: Optional[DeviceProfile] = None) -> None:
         self.profile = profile or DEVICE_PROFILES["smartphone"]
         self._allocations: Dict[str, int] = {}
+        self._engine: Optional["InferenceEngine"] = None
+        self.inference_requests = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -108,3 +121,33 @@ class EdgeDevice:
         if measured_seconds < 0:
             raise EdgeResourceError("measured_seconds must be non-negative")
         return measured_seconds / self.profile.relative_compute
+
+    # ------------------------------------------------------------------ #
+    # serving
+    # ------------------------------------------------------------------ #
+    def precision(self):
+        """Scoped dtype policy matching this device's profile.
+
+        Usage: ``with device.precision(): learner.learn_new_classes(...)`` —
+        everything inside runs in the profile's compute dtype (``float32``
+        for the stock edge profiles).
+        """
+        return precision(self.profile.compute_dtype)
+
+    def attach_inference(self, engine: "InferenceEngine") -> "InferenceEngine":
+        """Install the serving engine this device answers requests with."""
+        self._engine = engine
+        return engine
+
+    @property
+    def engine(self) -> Optional["InferenceEngine"]:
+        return self._engine
+
+    def infer(self, windows: np.ndarray) -> np.ndarray:
+        """Serve a batch of windows through the attached inference engine."""
+        if self._engine is None:
+            raise NotFittedError(
+                f"no inference engine attached to device {self.profile.name!r}"
+            )
+        self.inference_requests += 1
+        return self._engine.predict(windows)

@@ -1,0 +1,137 @@
+"""Batched on-device serving engine.
+
+``PILOTE.predict`` is fine for a single window but does redundant work when a
+device serves a stream: every call re-derives the classifier state and walks
+the whole embed→distance→argmin pipeline per request.  The
+:class:`InferenceEngine` is the serving-side counterpart of the learner:
+
+* it **serves from cached prototype state**: the class-id lookup array is
+  rebuilt only when the learner's ``state_version`` changes, and the
+  prototype matrix comes from the classifier's own cache (keyed on the
+  prototype store's mutation counter and the dtype policy) — so incremental
+  updates (``learn_new_classes``, ``build_support_set``) and even direct
+  prototype mutations invalidate transparently;
+* it **accepts many windows at once** and processes them in bounded batches,
+  keeping peak memory flat on resource-starved devices;
+* it **shares the exact kernels** of the NCM classifier (same backend
+  distance GEMM, same ``take``-based id mapping), so batched predictions
+  match the unbatched learner path at equal dtype.
+
+The engine holds a reference to its learner rather than copied state: after
+an on-device incremental update the very next ``predict`` call serves the
+new classes with no explicit re-wiring.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+import numpy as np
+
+from repro.backend import get_backend
+from repro.exceptions import DataError, NotFittedError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports edge lazily)
+    from repro.core.pilote import PILOTE
+
+
+class InferenceEngine:
+    """Batched NCM serving over a (possibly still-learning) PILOTE learner.
+
+    Parameters
+    ----------
+    learner:
+        The :class:`~repro.core.pilote.PILOTE` instance to serve.  The engine
+        follows the learner's state: caches are keyed by
+        ``learner.state_version``.
+    batch_size:
+        Maximum number of windows embedded per internal step; bounds peak
+        working memory during large requests.
+    """
+
+    def __init__(self, learner: "PILOTE", *, batch_size: int = 256) -> None:
+        if batch_size <= 0:
+            raise DataError(f"batch_size must be positive, got {batch_size}")
+        self._learner = learner
+        self.batch_size = int(batch_size)
+        self._cached_version: Optional[int] = None
+        self._classifier = None
+        self._class_ids: Optional[np.ndarray] = None
+        self.windows_served = 0
+        self.batches_served = 0
+        self.cache_refreshes = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def learner(self) -> "PILOTE":
+        return self._learner
+
+    def invalidate(self) -> None:
+        """Force a prototype-cache rebuild on the next request."""
+        self._cached_version = None
+
+    def _refresh_if_stale(self) -> None:
+        """Re-bind the learner's classifier when its state version moved.
+
+        The prototype matrix itself is *not* copied here: the classifier
+        already caches it keyed on the prototype store's mutation counter and
+        the dtype policy, so direct store mutations and precision switches
+        propagate to the engine without an extra invalidation channel.
+        """
+        learner = self._learner
+        if learner.model is None:
+            raise NotFittedError("the learner behind this engine has not been trained")
+        learner._ensure_classifier()
+        if self._cached_version == learner.state_version:
+            return
+        self._classifier = learner.classifier
+        self._class_ids = np.asarray(self._classifier.classes_, dtype=np.int64)
+        self._cached_version = learner.state_version
+        self.cache_refreshes += 1
+
+    def cache_info(self) -> Dict[str, int]:
+        """Serving statistics (useful for benchmarks and monitoring)."""
+        return {
+            "windows_served": self.windows_served,
+            "batches_served": self.batches_served,
+            "cache_refreshes": self.cache_refreshes,
+            "cached_classes": 0 if self._class_ids is None else int(self._class_ids.size),
+        }
+
+    # ------------------------------------------------------------------ #
+    def _distances(self, windows: np.ndarray) -> np.ndarray:
+        """``(n, n_classes)`` prototype distances for many raw windows."""
+        self._refresh_if_stale()
+        assert self._classifier is not None
+        backend = get_backend()
+        windows = backend.asarray(windows)
+        if windows.ndim == 1:
+            windows = windows[None, :]
+        prototypes = self._classifier.prototype_matrix()
+        metric = self._classifier.metric
+        if windows.shape[0] == 0:
+            return backend.zeros((0, prototypes.shape[0]))
+        chunks = []
+        for start in range(0, windows.shape[0], self.batch_size):
+            chunk = windows[start:start + self.batch_size]
+            embeddings = self._learner.embed(chunk)
+            chunks.append(
+                backend.pairwise_distances(embeddings, prototypes, metric=metric)
+            )
+            self.batches_served += 1
+        self.windows_served += int(windows.shape[0])
+        return np.concatenate(chunks, axis=0)
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Class ids for a batch of raw feature windows."""
+        distances = self._distances(windows)
+        assert self._class_ids is not None
+        return self._class_ids.take(np.argmin(distances, axis=1))
+
+    def predict_scores(self, windows: np.ndarray) -> np.ndarray:
+        """Soft class scores (softmax over negative prototype distances)."""
+        distances = self._distances(windows)
+        logits = -distances
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        return exp / exp.sum(axis=1, keepdims=True)

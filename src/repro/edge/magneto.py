@@ -68,6 +68,10 @@ class MagnetoPlatform:
         self.device.store("prototypes", package.prototype_bytes)
         # The edge learner continues from the cloud learner's exact state.
         self.edge_learner = self.cloud.learner
+        # Serving goes through the device's batched engine; the engine tracks
+        # the learner's state version, so later increments invalidate its
+        # prototype cache automatically.
+        self.device.attach_inference(self.edge_learner.inference_engine())
         self.package = package
         logger.info(
             "deployed %.2f KB to edge device '%s' (%.2f KB free)",
@@ -93,9 +97,11 @@ class MagnetoPlatform:
         return history
 
     def edge_predict(self, features: np.ndarray) -> np.ndarray:
-        """Step 4: on-device inference."""
+        """Step 4: on-device batched inference through the serving engine."""
         if self.edge_learner is None:
             raise NotFittedError("the edge learner is not initialised")
+        if self.device.engine is not None:
+            return self.device.infer(features)
         return self.edge_learner.predict(features)
 
     # ------------------------------------------------------------------ #

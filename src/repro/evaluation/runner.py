@@ -164,7 +164,9 @@ class ExperimentRunner:
         if "pilote" in self.methods:
             learner = clone_pretrained(pretrained)
             learner.learn_new_classes(new_train, new_validation)
-            predictions = learner.predict(test.features)
+            # Test-set scoring goes through the batched serving engine — the
+            # same path the deployed edge device uses.
+            predictions = learner.inference_engine().predict(test.features)
             results["pilote"] = MethodResult(
                 method="pilote",
                 accuracy=accuracy(test.labels, predictions),

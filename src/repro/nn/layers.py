@@ -112,8 +112,8 @@ class Dropout(Module):
         if not self.training or self.p == 0.0:
             return inputs
         keep = 1.0 - self.p
-        mask = (self._rng.random(inputs.shape) < keep).astype(np.float64) / keep
-        return inputs * Tensor(mask)
+        mask = (self._rng.random(inputs.shape) < keep).astype(inputs.data.dtype) / keep
+        return inputs * Tensor(mask, dtype=inputs.data.dtype)
 
     def __repr__(self) -> str:
         return f"Dropout(p={self.p})"

@@ -74,7 +74,8 @@ class ContrastiveLoss(Module):
         if left.shape != right.shape:
             raise ShapeError(f"pair embeddings must share a shape, got {left.shape} vs {right.shape}")
         labels = np.asarray(
-            same_class.data if isinstance(same_class, Tensor) else same_class, dtype=np.float64
+            same_class.data if isinstance(same_class, Tensor) else same_class,
+            dtype=left.data.dtype,
         ).reshape(-1)
         if labels.shape[0] != left.shape[0]:
             raise ShapeError(

@@ -139,7 +139,7 @@ class Module:
                 if name not in parameters:
                     raise SerializationError(f"unexpected parameter {name!r} in state dict")
                 target = parameters[name]
-                value = np.asarray(value, dtype=np.float64)
+                value = np.asarray(value, dtype=target.data.dtype)
                 if target.data.shape != value.shape:
                     raise SerializationError(
                         f"shape mismatch for parameter {name!r}: "

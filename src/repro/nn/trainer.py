@@ -14,6 +14,7 @@ from typing import Callable, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.autodiff.tensor import Tensor
+from repro.backend import get_backend
 from repro.nn.module import Module
 from repro.nn.optim import Optimizer
 from repro.nn.schedulers import LRScheduler
@@ -161,6 +162,12 @@ class Trainer:
 
         history = TrainingHistory()
         evaluate = validation_loss or batch_loss
+        # Materialise the training arrays in the policy compute dtype once,
+        # so per-batch Tensor construction is a cast-free view.
+        backend = get_backend()
+        features = backend.asarray(features)
+        if validation is not None:
+            validation = (backend.asarray(validation[0]), validation[1])
         if self.early_stopping is not None:
             self.early_stopping.reset()
         for epoch in range(self.max_epochs):

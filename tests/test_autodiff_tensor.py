@@ -26,6 +26,17 @@ class TestTensorBasics:
     def test_item_on_scalar(self):
         assert Tensor(3.5).item() == pytest.approx(3.5)
 
+    def test_item_on_multi_element_tensor_raises_shape_error(self):
+        from repro.exceptions import ShapeError
+
+        with pytest.raises(ShapeError, match="exactly one element"):
+            Tensor([1.0, 2.0]).item()
+        with pytest.raises(ShapeError, match=r"shape \(2, 2\)"):
+            Tensor(np.zeros((2, 2))).item()
+
+    def test_item_on_size_one_matrix(self):
+        assert Tensor(np.full((1, 1), 7.0)).item() == pytest.approx(7.0)
+
     def test_detach_cuts_graph(self):
         a = Tensor([1.0, 2.0], requires_grad=True)
         detached = (a * 2).detach()

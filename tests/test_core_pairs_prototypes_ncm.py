@@ -141,6 +141,47 @@ class TestNCMClassifier:
     def test_distances_shape(self):
         assert self._fitted().distances(np.zeros((3, 2))).shape == (3, 2)
 
+    def test_vectorized_predict_maps_noncontiguous_class_ids(self):
+        """Regression: predict uses a cached class-id ``take``, not a Python loop.
+
+        Class ids are deliberately non-contiguous and unsorted-by-insertion so
+        an argmin-index-as-class-id bug would be caught immediately.
+        """
+        rng = np.random.default_rng(0)
+        prototypes = {17: np.array([0.0, 0.0]), 3: np.array([10.0, 0.0]),
+                      42: np.array([0.0, 10.0])}
+        classifier = NCMClassifier().fit(prototypes)
+        queries = rng.normal(scale=0.5, size=(64, 2)) + np.array([10.0, 0.0])
+        predictions = classifier.predict(queries)
+        # Reference: per-row loop over the distance matrix (the seed path).
+        distances = classifier.distances(queries)
+        expected = np.asarray(
+            [classifier.classes_[int(index)] for index in np.argmin(distances, axis=1)],
+            dtype=np.int64,
+        )
+        assert np.array_equal(predictions, expected)
+        assert set(predictions.tolist()) <= {3, 17, 42}
+
+    def test_prototype_matrix_cache_refreshes_on_store_mutation(self):
+        store = PrototypeStore()
+        store.set(0, np.array([0.0, 0.0]))
+        store.set(1, np.array([4.0, 0.0]))
+        classifier = NCMClassifier().fit(store)
+        assert classifier.predict(np.array([[3.5, 0.0]])).tolist() == [1]
+        store.set(1, np.array([100.0, 0.0]))  # move prototype far away
+        assert classifier.predict(np.array([[3.5, 0.0]])).tolist() == [0]
+
+    def test_prototype_matrix_cache_follows_dtype_policy(self):
+        """Regression: a precision switch must rebuild the cached matrix."""
+        from repro.backend import precision
+
+        classifier = self._fitted()
+        assert classifier.prototype_matrix().dtype == np.float64
+        with precision("edge"):
+            assert classifier.prototype_matrix().dtype == np.float32
+            assert classifier.distances(np.zeros((2, 2))).dtype == np.float32
+        assert classifier.prototype_matrix().dtype == np.float64
+
     def test_scores_are_probabilities(self):
         scores = self._fitted().predict_scores(np.array([[1.0, 0.0]]))
         assert scores.shape == (1, 2)
