@@ -12,6 +12,15 @@ This is the smallest complete example of the library's public API:
 Run with::
 
     python examples/quickstart.py
+
+Fleet serving
+-------------
+
+Everything here is single-device, exactly as in the paper.  To serve many
+devices from one cloud broadcast — user-sharded request routing, staggered
+per-device increments, checkpoint/restore — see
+``examples/fleet_simulation.py`` and the :mod:`repro.fleet` package, or run
+``pilote fleet-sim --scale quick`` for the end-to-end simulation.
 """
 
 from repro import PILOTE, PiloteConfig

@@ -46,6 +46,18 @@ backend is the extension point for future accelerator or multi-device
 backends: implement :class:`repro.backend.Backend` and install it with
 :func:`repro.backend.set_backend`.
 
+Fleet serving
+-------------
+
+:mod:`repro.fleet` scales the single-device pipeline out to many devices
+behind one cloud broadcast: :class:`~repro.fleet.FleetCoordinator` provisions
+and deploys the fleet (``MagnetoPlatform.to_fleet(n)`` is the one-liner),
+:class:`~repro.fleet.Router` shards traffic by user id and batches through
+each device's engine, :class:`~repro.fleet.TrafficGenerator` replays seeded
+uniform/bursty/Zipf workloads, and :class:`~repro.fleet.CheckpointStore`
+snapshots/restores device state under a storage budget.  Run the end-to-end
+simulation with ``pilote fleet-sim``.
+
 See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for the
 paper-versus-measured comparison of every table and figure.
 """
@@ -55,8 +67,15 @@ from repro.core import PILOTE, PiloteConfig, EmbeddingNetwork, NCMClassifier
 from repro.data import Activity, HARDataset, build_incremental_scenario, make_feature_dataset
 from repro.baselines import PretrainedBaseline, RetrainedBaseline
 from repro.edge import InferenceEngine, MagnetoPlatform
+from repro.fleet import (
+    CheckpointStore,
+    FleetCoordinator,
+    Router,
+    TrafficGenerator,
+    WorkloadSpec,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "PILOTE",
@@ -71,6 +90,11 @@ __all__ = [
     "RetrainedBaseline",
     "MagnetoPlatform",
     "InferenceEngine",
+    "FleetCoordinator",
+    "Router",
+    "TrafficGenerator",
+    "WorkloadSpec",
+    "CheckpointStore",
     "Backend",
     "NumpyBackend",
     "get_backend",

@@ -7,6 +7,10 @@ of the paper's tables/figures and prints it::
     pilote figure6 --scale default
     pilote edge --scale quick
 
+Beyond the paper, ``pilote fleet-sim`` runs the multi-device fleet serving
+simulation (:mod:`repro.fleet.simulation`); ``--devices`` overrides the fleet
+size of the default scenario.
+
 The ``--scale`` flag picks an :class:`~repro.experiments.common.ExperimentSettings`
 preset (``quick``, ``default`` or ``paper``).
 """
@@ -28,6 +32,7 @@ from repro.experiments import (
     table2,
 )
 from repro.experiments.common import ExperimentSettings
+from repro.fleet import simulation as fleet_simulation
 from repro.utils.logging import enable_console_logging
 
 _EXPERIMENTS: Dict[str, Callable] = {
@@ -39,6 +44,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "ablations": lambda settings: ablations.run(settings),
     "edge": lambda settings: edge_resources.run(settings),
     "multi-increment": lambda settings: multi_increment.run(settings),
+    "fleet-sim": lambda settings, **kw: fleet_simulation.run(settings, **kw),
 }
 
 _SCALES = {
@@ -63,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=7, help="base random seed")
     parser.add_argument(
+        "--devices",
+        type=int,
+        default=None,
+        help="fleet size for the fleet-sim experiment (default: scenario's 8)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="enable progress logging to stderr"
     )
     return parser
@@ -75,7 +87,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arguments.verbose:
         enable_console_logging()
     settings = _SCALES[arguments.scale](seed=arguments.seed)
-    result = _EXPERIMENTS[arguments.experiment](settings)
+    if arguments.experiment == "fleet-sim":
+        result = _EXPERIMENTS[arguments.experiment](settings, n_devices=arguments.devices)
+    else:
+        result = _EXPERIMENTS[arguments.experiment](settings)
     print(result.to_text())
     return 0
 

@@ -14,6 +14,7 @@ from repro.core.config import PiloteConfig
 from repro.core.pilote import PILOTE
 from repro.data.dataset import HARDataset
 from repro.edge.transfer import TransferPackage, package_for_edge
+from repro.exceptions import NotFittedError
 from repro.nn.trainer import TrainingHistory
 from repro.utils.rng import RandomState
 
@@ -44,5 +45,5 @@ class CloudServer:
     def export_package(self) -> TransferPackage:
         """Package the pre-trained model + support set for transfer to the edge."""
         if self.learner is None:
-            raise RuntimeError("pretrain() must be called before export_package()")
+            raise NotFittedError("pretrain() must be called before export_package()")
         return package_for_edge(self.learner)

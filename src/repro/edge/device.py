@@ -147,7 +147,8 @@ class EdgeDevice:
         """Serve a batch of windows through the attached inference engine."""
         if self._engine is None:
             raise NotFittedError(
-                f"no inference engine attached to device {self.profile.name!r}"
+                f"device {self.profile.name!r} has no inference engine attached; "
+                "call attach_inference(learner.inference_engine()) before infer()"
             )
         self.inference_requests += 1
         return self._engine.predict(windows)

@@ -11,7 +11,7 @@ The platform object wires the pieces end to end:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from repro.exceptions import NotFittedError
 from repro.nn.trainer import TrainingHistory
 from repro.utils.logging import get_logger
 from repro.utils.rng import RandomState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fleet.coordinator import FleetCoordinator
 
 logger = get_logger("edge.magneto")
 
@@ -103,6 +106,29 @@ class MagnetoPlatform:
         if self.device.engine is not None:
             return self.device.infer(features)
         return self.edge_learner.predict(features)
+
+    # ------------------------------------------------------------------ #
+    def to_fleet(self, n_devices: int, profiles=None) -> "FleetCoordinator":
+        """Scale this platform out to ``n_devices`` independently-learning devices.
+
+        The cloud's pre-trained package is broadcast to a freshly provisioned
+        fleet (:class:`repro.fleet.FleetCoordinator`); each device receives
+        its own learner copy and serving engine, so per-device increments and
+        request routing can proceed from here.  Requires
+        :meth:`cloud_pretrain` to have run.
+        """
+        from repro.fleet.coordinator import FleetCoordinator  # avoid an import cycle
+
+        if self.cloud.learner is None:
+            raise NotFittedError("cloud_pretrain() must run before to_fleet()")
+        fleet = FleetCoordinator(
+            self.config,
+            profiles=profiles or (self.device.profile,),
+            seed=self.cloud._seed,
+        )
+        fleet.provision(n_devices)
+        fleet.deploy(self.cloud.export_package())
+        return fleet
 
     # ------------------------------------------------------------------ #
     def storage_report(self) -> Dict[str, int]:

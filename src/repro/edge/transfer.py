@@ -10,12 +10,14 @@ float32-serialised sizes, which is the quantity the paper's Q2 analysis uses
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
+from repro.core.config import PiloteConfig
 from repro.core.pilote import PILOTE
-from repro.exceptions import NotFittedError
+from repro.exceptions import NotFittedError, SerializationError
+from repro.utils.rng import RandomState
 
 
 @dataclass
@@ -28,6 +30,10 @@ class TransferPackage:
     model_bytes: int
     support_set_bytes: int
     prototype_bytes: int
+    # Support-set policy of the source learner, so an instantiated device
+    # learner manages its exemplars exactly as the cloud learner would.
+    exemplar_strategy: str = "herding"
+    exemplar_capacity: Optional[int] = None
 
     @property
     def total_bytes(self) -> int:
@@ -42,6 +48,42 @@ class TransferPackage:
             "total_bytes": self.total_bytes,
             "total_megabytes": self.total_bytes / 2**20,
         }
+
+    def instantiate_learner(
+        self, config: PiloteConfig, seed: RandomState = None
+    ) -> PILOTE:
+        """Materialise an *independent* PILOTE learner from this package.
+
+        This is what happens on every device that receives the package: the
+        backbone weights, support set and prototypes are deep-copied into a
+        fresh learner, so the device can keep learning locally without sharing
+        state with the cloud learner or with any sibling device.  The fleet
+        layer (:mod:`repro.fleet`) uses this to provision many devices from a
+        single cloud broadcast.
+        """
+        from repro.core.embedding import EmbeddingNetwork  # local import avoids a cycle
+        from repro.core.ncm import NCMClassifier
+
+        if not self.exemplar_features:
+            raise SerializationError("the transfer package carries no support set")
+        input_dim = next(iter(self.exemplar_features.values())).shape[1]
+        learner = PILOTE(config, seed=seed)
+        learner.model = EmbeddingNetwork(int(input_dim), config=config)
+        learner.model.load_state_dict(self.model_state)
+        learner.model.eval()
+        learner._old_classes = sorted(int(c) for c in self.prototypes)
+        learner.exemplars.strategy = self.exemplar_strategy
+        learner.exemplars.capacity = self.exemplar_capacity
+        for class_id, rows in self.exemplar_features.items():
+            learner.exemplars.set_exemplars(int(class_id), np.array(rows, copy=True))
+        for class_id, prototype in self.prototypes.items():
+            learner.prototypes.set(int(class_id), np.array(prototype, copy=True))
+        learner._pretrain_dataset = None
+        if len(learner.prototypes) > 0:
+            learner.classifier = NCMClassifier().fit(learner.prototypes)
+            learner._classifier_ready = True
+            learner._state_version += 1
+        return learner
 
 
 def package_for_edge(learner: PILOTE) -> TransferPackage:
@@ -61,6 +103,8 @@ def package_for_edge(learner: PILOTE) -> TransferPackage:
         model_bytes=learner.model_nbytes(),
         support_set_bytes=learner.support_set_nbytes(),
         prototype_bytes=learner.prototypes.nbytes(),
+        exemplar_strategy=learner.exemplars.strategy,
+        exemplar_capacity=learner.exemplars.capacity,
     )
 
 

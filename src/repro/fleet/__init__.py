@@ -1,0 +1,57 @@
+"""Fleet serving: multi-device orchestration, routing, traffic, checkpoints.
+
+The paper ships one pre-trained model to one edge device; this package scales
+that architecture out to a *fleet* behind a single cloud broadcast:
+
+* :class:`FleetCoordinator` provisions N devices from heterogeneous
+  :class:`~repro.edge.device.DeviceProfile`s, deploys one
+  :class:`~repro.edge.transfer.TransferPackage` to all of them (each device
+  gets an independent learner) and schedules staggered per-device increments;
+* :class:`Router` (alias :class:`LoadBalancer`) shards inference requests
+  across devices by user id, batches them through each device's
+  :class:`~repro.edge.inference.InferenceEngine`, and records per-device
+  throughput/latency/queue-depth statistics on a simulated parallel clock;
+* :class:`TrafficGenerator` produces deterministic open-loop workloads
+  (uniform, bursty, Zipf-skewed user populations);
+* :class:`CheckpointStore` snapshots device state, evicts under a storage
+  budget, and restores state onto a fresh device (crash/replace, elasticity).
+
+Entry points: ``MagnetoPlatform.to_fleet(n)``, the ``pilote fleet-sim`` CLI
+subcommand, ``examples/fleet_simulation.py`` and
+``benchmarks/bench_fleet.py``.  Future async serving and sharded backends
+build on the router/engine seam here.
+"""
+
+from repro.fleet.checkpoint import CheckpointStore, DeviceCheckpoint
+from repro.fleet.coordinator import (
+    Fleet,
+    FleetAccuracyReport,
+    FleetCoordinator,
+    FleetDevice,
+)
+from repro.fleet.router import DeviceStats, LoadBalancer, Router, RoutingReport
+from repro.fleet.simulation import FleetSimulationResult
+from repro.fleet.traffic import (
+    InferenceRequest,
+    TrafficGenerator,
+    WorkloadSpec,
+    staggered_schedule,
+)
+
+__all__ = [
+    "Fleet",
+    "FleetCoordinator",
+    "FleetDevice",
+    "FleetAccuracyReport",
+    "Router",
+    "LoadBalancer",
+    "DeviceStats",
+    "RoutingReport",
+    "TrafficGenerator",
+    "WorkloadSpec",
+    "InferenceRequest",
+    "staggered_schedule",
+    "CheckpointStore",
+    "DeviceCheckpoint",
+    "FleetSimulationResult",
+]

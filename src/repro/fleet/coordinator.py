@@ -1,0 +1,276 @@
+"""Fleet provisioning and orchestration.
+
+One :class:`~repro.edge.cloud.CloudServer` broadcast, many edge devices: the
+coordinator provisions N :class:`~repro.edge.device.EdgeDevice`s from
+(possibly heterogeneous) :class:`~repro.edge.device.DeviceProfile`s, deploys
+the same :class:`~repro.edge.transfer.TransferPackage` to each of them, and
+schedules per-device incremental updates.  Every device owns an *independent*
+learner materialised from the package
+(:meth:`~repro.edge.transfer.TransferPackage.instantiate_learner`), so devices
+drift apart exactly as a real fleet does when new activities reach users at
+different times.
+
+Serving runs through each device's batched
+:class:`~repro.edge.inference.InferenceEngine`; request distribution is the
+router's job (:mod:`repro.fleet.router`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import PiloteConfig
+from repro.core.pilote import PILOTE
+from repro.data.dataset import HARDataset
+from repro.edge.device import DEVICE_PROFILES, DeviceProfile, EdgeDevice
+from repro.edge.transfer import TransferPackage
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.nn.trainer import TrainingHistory
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState, resolve_rng, spawn_rngs
+
+logger = get_logger("fleet.coordinator")
+
+
+class FleetDevice:
+    """One provisioned edge device: hardware budget + local learner + engine.
+
+    The wrapper binds the three per-device pieces together — the
+    :class:`EdgeDevice` storage/compute model, the device's own PILOTE learner
+    and its serving engine — and runs learning and serving under the device
+    profile's dtype policy.
+    """
+
+    def __init__(self, device_id: int, edge: EdgeDevice) -> None:
+        self.device_id = int(device_id)
+        self.edge = edge
+        self.learner: Optional[PILOTE] = None
+        self.increment_histories: List[TrainingHistory] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def profile(self) -> DeviceProfile:
+        return self.edge.profile
+
+    @property
+    def is_deployed(self) -> bool:
+        return self.learner is not None and self.edge.engine is not None
+
+    def deploy(
+        self, package: TransferPackage, config: PiloteConfig, seed: RandomState = None
+    ) -> None:
+        """Receive the cloud broadcast: build the local learner and engine."""
+        with self.edge.precision():
+            self.learner = package.instantiate_learner(config, seed=seed)
+            self.edge.store("model", package.model_bytes)
+            self.edge.store("support_set", package.support_set_bytes)
+            self.edge.store("prototypes", package.prototype_bytes)
+            self.edge.attach_inference(self.learner.inference_engine())
+
+    def adopt(self, learner: PILOTE) -> None:
+        """Install an already-built learner (checkpoint restore path)."""
+        with self.edge.precision():
+            self.learner = learner
+            self.edge.store("model", learner.model_nbytes())
+            self.edge.store("support_set", learner.support_set_nbytes())
+            self.edge.store("prototypes", learner.prototypes.nbytes())
+            self.edge.attach_inference(learner.inference_engine())
+
+    # ------------------------------------------------------------------ #
+    def infer(self, windows: np.ndarray) -> np.ndarray:
+        """Serve a batch of windows at this device's compute dtype."""
+        with self.edge.precision():
+            return self.edge.infer(windows)
+
+    def learn_new_activity(
+        self,
+        new_train: HARDataset,
+        new_validation: Optional[HARDataset] = None,
+    ) -> TrainingHistory:
+        """On-device incremental update; refreshes the storage ledger."""
+        if self.learner is None:
+            raise NotFittedError(
+                f"device {self.device_id} has no learner; deploy a package first"
+            )
+        with self.edge.precision():
+            history = self.learner.learn_new_classes(new_train, new_validation)
+            self.edge.store("support_set", self.learner.support_set_nbytes())
+            self.edge.store("prototypes", self.learner.prototypes.nbytes())
+        self.increment_histories.append(history)
+        return history
+
+    def accuracy(self, dataset: HARDataset) -> float:
+        """Plain accuracy of this device's learner on a labelled dataset."""
+        if self.learner is None:
+            raise NotFittedError(f"device {self.device_id} has no learner")
+        with self.edge.precision():
+            return self.learner.evaluate(dataset)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "device_id": self.device_id,
+            "profile": self.profile.name,
+            "storage_used": self.edge.storage_used,
+            "storage_free": self.edge.storage_free,
+            "classes": [] if self.learner is None else self.learner.classes_,
+            "increments": len(self.increment_histories),
+        }
+
+
+@dataclass
+class FleetAccuracyReport:
+    """Per-device accuracy after (staggered) increments, plus divergence."""
+
+    per_device: Dict[int, float]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(list(self.per_device.values())))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(list(self.per_device.values())))
+
+    @property
+    def spread(self) -> float:
+        """Max − min accuracy across the fleet (the divergence headline)."""
+        values = list(self.per_device.values())
+        return float(max(values) - min(values))
+
+    def summary(self) -> Dict[str, float]:
+        return {"mean": self.mean, "std": self.std, "spread": self.spread}
+
+
+class FleetCoordinator:
+    """Provisions, deploys and schedules a fleet of edge devices.
+
+    Parameters
+    ----------
+    config:
+        PILOTE configuration shared by every device learner.
+    profiles:
+        Device profiles to cycle through while provisioning; defaults to the
+        stock smartphone profile for every device.
+    seed:
+        Root seed; per-device learner streams are spawned from it so the
+        fleet is reproducible end to end.
+    """
+
+    def __init__(
+        self,
+        config: Optional[PiloteConfig] = None,
+        *,
+        profiles: Optional[Sequence[DeviceProfile]] = None,
+        seed: RandomState = None,
+    ) -> None:
+        self.config = config or PiloteConfig()
+        self.profiles = tuple(profiles) if profiles else (DEVICE_PROFILES["smartphone"],)
+        self._root_rng = resolve_rng(seed)
+        self.devices: List[FleetDevice] = []
+        self.package: Optional[TransferPackage] = None
+        self._pending_increments: List[Tuple[int, int, HARDataset, Optional[HARDataset]]] = []
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def device(self, device_id: int) -> FleetDevice:
+        for candidate in self.devices:
+            if candidate.device_id == device_id:
+                return candidate
+        raise ConfigurationError(f"no device with id {device_id} in the fleet")
+
+    def provision(
+        self, n_devices: int, profiles: Optional[Sequence[DeviceProfile]] = None
+    ) -> List[FleetDevice]:
+        """Add ``n_devices`` fresh devices, cycling through the profile list."""
+        if n_devices <= 0:
+            raise ConfigurationError(f"n_devices must be positive, got {n_devices}")
+        pool = tuple(profiles) if profiles else self.profiles
+        created = []
+        next_id = max((d.device_id for d in self.devices), default=-1) + 1
+        for index in range(n_devices):
+            profile = pool[index % len(pool)]
+            device = FleetDevice(next_id + index, EdgeDevice(profile))
+            self.devices.append(device)
+            created.append(device)
+        logger.info("provisioned %d devices (%d total)", n_devices, len(self.devices))
+        return created
+
+    def deploy(self, package: TransferPackage) -> None:
+        """Broadcast one transfer package to every not-yet-deployed device."""
+        if not self.devices:
+            raise ConfigurationError("provision() must run before deploy()")
+        targets = [d for d in self.devices if not d.is_deployed]
+        seeds = spawn_rngs(self._root_rng, len(targets))
+        for device, device_rng in zip(targets, seeds):
+            device.deploy(package, self.config, seed=device_rng)
+        self.package = package
+        logger.info(
+            "deployed %.2f KB package to %d devices",
+            package.total_bytes / 1024,
+            len(targets),
+        )
+
+    def replace_device(self, device_id: int, replacement: FleetDevice) -> FleetDevice:
+        """Swap a (crashed) device for its replacement, keeping the id slot."""
+        for index, candidate in enumerate(self.devices):
+            if candidate.device_id == device_id:
+                self.devices[index] = replacement
+                return replacement
+        raise ConfigurationError(f"no device with id {device_id} in the fleet")
+
+    # ------------------------------------------------------------------ #
+    # staggered incremental updates
+    # ------------------------------------------------------------------ #
+    def schedule_increment(
+        self,
+        device_id: int,
+        tick: int,
+        new_train: HARDataset,
+        new_validation: Optional[HARDataset] = None,
+    ) -> None:
+        """Queue an incremental update for one device at a simulation tick."""
+        self.device(device_id)  # validate the id eagerly
+        self._pending_increments.append((int(tick), device_id, new_train, new_validation))
+
+    def pending_increments(self) -> List[Tuple[int, int]]:
+        """``(tick, device_id)`` pairs still waiting to run."""
+        return [(tick, device_id) for tick, device_id, _, _ in self._pending_increments]
+
+    def run_due_increments(self, tick: int) -> Dict[int, TrainingHistory]:
+        """Run every queued increment whose tick has arrived."""
+        due = [entry for entry in self._pending_increments if entry[0] <= tick]
+        self._pending_increments = [
+            entry for entry in self._pending_increments if entry[0] > tick
+        ]
+        histories: Dict[int, TrainingHistory] = {}
+        for _, device_id, new_train, new_validation in sorted(due, key=lambda e: e[:2]):
+            device = self.device(device_id)
+            histories[device_id] = device.learn_new_activity(new_train, new_validation)
+            logger.info(
+                "device %d integrated %d new-class samples at tick %d",
+                device_id,
+                new_train.n_samples,
+                tick,
+            )
+        return histories
+
+    # ------------------------------------------------------------------ #
+    def accuracy_report(self, dataset: HARDataset) -> FleetAccuracyReport:
+        """Per-device accuracy on one test set — the fleet divergence view."""
+        if not self.devices:
+            raise ConfigurationError("the fleet has no devices")
+        return FleetAccuracyReport(
+            per_device={d.device_id: d.accuracy(dataset) for d in self.devices}
+        )
+
+    def describe(self) -> List[Dict[str, object]]:
+        return [device.describe() for device in self.devices]
+
+
+#: Short alias used in examples and docs.
+Fleet = FleetCoordinator

@@ -1,0 +1,240 @@
+"""Request routing and load balancing across a fleet of edge devices.
+
+The router shards an open-loop stream of :class:`InferenceRequest`s across
+devices **by user id** (a user's data always lands on the same device — the
+MAGNETO privacy model requires it) and batches each device's share through its
+:class:`~repro.edge.inference.InferenceEngine` in one call per tick.
+
+Timing uses a simulated clock layered on measured compute: each per-device
+batch is timed with the wall clock and converted to device-seconds through the
+profile's ``relative_compute``, and devices drain their queues *in parallel*
+in simulated time.  Aggregate fleet throughput is therefore
+``total_windows / makespan`` where the makespan is the latest completion time
+across devices — the quantity ``benchmarks/bench_fleet.py`` gates on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.fleet.coordinator import FleetDevice
+from repro.fleet.traffic import InferenceRequest
+from repro.utils.rng import RandomState, resolve_rng
+
+# 64-bit mixing constants (splitmix64 finaliser) for the sharding hash.
+_MIX1 = np.uint64(0xFF51AFD7ED558CCD)
+_MIX2 = np.uint64(0xC4CEB9FE1A85EC53)
+_SHIFT = np.uint64(33)
+
+
+@dataclass
+class DeviceStats:
+    """Serving statistics for one device, accumulated by the router."""
+
+    device_id: int
+    profile: str
+    requests: int = 0
+    windows: int = 0
+    batches: int = 0
+    busy_seconds: float = 0.0        # simulated device-seconds of compute
+    wall_seconds: float = 0.0        # measured engine wall clock
+    total_latency_seconds: float = 0.0
+    max_queue_depth: int = 0
+    available_at: float = 0.0        # simulated time the device frees up
+
+    @property
+    def throughput(self) -> float:
+        """Windows per simulated busy second on this device."""
+        return self.windows / self.busy_seconds if self.busy_seconds > 0 else 0.0
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        return self.total_latency_seconds / self.requests if self.requests else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "requests": float(self.requests),
+            "windows": float(self.windows),
+            "batches": float(self.batches),
+            "busy_seconds": self.busy_seconds,
+            "throughput": self.throughput,
+            "mean_latency_seconds": self.mean_latency_seconds,
+            "max_queue_depth": float(self.max_queue_depth),
+        }
+
+
+@dataclass
+class RoutingReport:
+    """Fleet-level view over the per-device stats after a routed stream."""
+
+    per_device: Dict[int, DeviceStats]
+    total_requests: int = 0
+    total_windows: int = 0
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Simulated time at which the last device finishes its queue."""
+        return max((s.available_at for s in self.per_device.values()), default=0.0)
+
+    @property
+    def aggregate_throughput(self) -> float:
+        """Windows per simulated second with devices draining in parallel."""
+        makespan = self.makespan_seconds
+        return self.total_windows / makespan if makespan > 0 else 0.0
+
+    @property
+    def engine_wall_seconds(self) -> float:
+        """Measured (not simulated) engine compute across the fleet."""
+        return sum(s.wall_seconds for s in self.per_device.values())
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "devices": float(len(self.per_device)),
+            "total_requests": float(self.total_requests),
+            "total_windows": float(self.total_windows),
+            "makespan_seconds": self.makespan_seconds,
+            "aggregate_throughput": self.aggregate_throughput,
+        }
+
+
+class Router:
+    """Shards inference requests across fleet devices and batches per device.
+
+    Parameters
+    ----------
+    devices:
+        The fleet's devices (each must have an engine attached before
+        requests are dispatched to it).  When given a list — e.g.
+        ``FleetCoordinator.devices`` — the router keeps a *live view* of it,
+        so ``FleetCoordinator.replace_device`` takes effect for in-flight
+        routing; the device *count* must stay fixed (it is the sharding
+        modulus).
+    seed:
+        Seeds the sharding salt: the same seed always produces the same
+        user → device assignment, different seeds rebalance differently.
+    """
+
+    def __init__(
+        self, devices: Sequence[FleetDevice], *, seed: RandomState = None
+    ) -> None:
+        if not devices:
+            raise ConfigurationError("the router needs at least one device")
+        self._devices = devices if isinstance(devices, list) else list(devices)
+        self._n_shards = len(devices)
+        self._salt = np.uint64(resolve_rng(seed).integers(0, 2**63 - 1, dtype=np.int64))
+        self._stats: Dict[int, DeviceStats] = {
+            d.device_id: DeviceStats(device_id=d.device_id, profile=d.profile.name)
+            for d in self._devices
+        }
+        self._total_requests = 0
+        self._total_windows = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_devices(self) -> int:
+        return len(self._devices)
+
+    def shard(self, user_ids) -> np.ndarray:
+        """Deterministic device index for each user id (vectorised).
+
+        Uses a salted splitmix64 finaliser so the assignment is uniform over
+        devices, stable per user, and reproducible from the router seed.
+        """
+        ids = np.atleast_1d(np.asarray(user_ids)).astype(np.uint64)
+        v = ids + self._salt
+        v ^= v >> _SHIFT
+        v *= _MIX1
+        v ^= v >> _SHIFT
+        v *= _MIX2
+        v ^= v >> _SHIFT
+        return (v % np.uint64(self._n_shards)).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    def dispatch_tick(
+        self, requests: Sequence[InferenceRequest]
+    ) -> List[Optional[np.ndarray]]:
+        """Route one tick's arrivals; returns predictions aligned with input.
+
+        Each device's share of the tick is concatenated into a single batch
+        and served through the device engine in one call (the engine applies
+        its own internal ``batch_size`` bound), which is what keeps the
+        per-request overhead of the fleet layer small.
+        """
+        predictions: List[Optional[np.ndarray]] = [None] * len(requests)
+        if not requests:
+            return predictions
+        if len(self._devices) != self._n_shards:
+            raise ConfigurationError(
+                f"the fleet changed size ({self._n_shards} -> {len(self._devices)}); "
+                "build a new Router — the device count is the sharding modulus"
+            )
+        user_ids = np.fromiter(
+            (r.user_id for r in requests), dtype=np.int64, count=len(requests)
+        )
+        assignment = self.shard(user_ids)
+        arrival = min(r.arrival_seconds for r in requests)
+        for position in range(self._n_shards):
+            indices = np.flatnonzero(assignment == position)
+            if indices.size == 0:
+                continue
+            device = self._devices[position]
+            # setdefault: a replacement device (crash/restore) may carry a new
+            # id; it inherits the shard but gets its own stats row.
+            stats = self._stats.setdefault(
+                device.device_id,
+                DeviceStats(device_id=device.device_id, profile=device.profile.name),
+            )
+            batch_requests = [requests[i] for i in indices]
+            windows = np.concatenate([r.features for r in batch_requests], axis=0)
+
+            start = time.perf_counter()
+            outputs = device.infer(windows)
+            wall = time.perf_counter() - start
+            service = wall / device.profile.relative_compute
+
+            begin = max(stats.available_at, arrival)
+            queue_depth = len(batch_requests) + (1 if stats.available_at > arrival else 0)
+            completion = begin + service
+            stats.available_at = completion
+            stats.requests += len(batch_requests)
+            stats.windows += int(windows.shape[0])
+            stats.batches += 1
+            stats.busy_seconds += service
+            stats.wall_seconds += wall
+            stats.max_queue_depth = max(stats.max_queue_depth, queue_depth)
+            stats.total_latency_seconds += sum(
+                completion - r.arrival_seconds for r in batch_requests
+            )
+
+            offset = 0
+            for request, index in zip(batch_requests, indices):
+                predictions[index] = outputs[offset:offset + request.n_windows]
+                offset += request.n_windows
+            self._total_requests += len(batch_requests)
+            self._total_windows += int(windows.shape[0])
+        return predictions
+
+    def route(
+        self, ticks: Iterable[Sequence[InferenceRequest]]
+    ) -> RoutingReport:
+        """Dispatch a whole stream of ticks and return the fleet report."""
+        for requests in ticks:
+            self.dispatch_tick(requests)
+        return self.report()
+
+    def report(self) -> RoutingReport:
+        """Current routing statistics (stats keep accumulating afterwards)."""
+        return RoutingReport(
+            per_device=dict(self._stats),
+            total_requests=self._total_requests,
+            total_windows=self._total_windows,
+        )
+
+
+#: Alias emphasising the balancing role in docs and examples.
+LoadBalancer = Router

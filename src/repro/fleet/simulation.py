@@ -1,0 +1,192 @@
+"""End-to-end fleet simulation: one cloud broadcast, many drifting devices.
+
+This is the fleet-level counterpart of the paper's single-device pipeline and
+the runner behind the ``pilote fleet-sim`` CLI subcommand:
+
+1. the cloud pre-trains on the old activities and exports one
+   :class:`~repro.edge.transfer.TransferPackage`;
+2. the coordinator provisions N devices and deploys the package to each;
+3. a seeded open-loop traffic stream (Zipf/bursty/uniform) is sharded across
+   the fleet by user id while, at staggered ticks, each device integrates the
+   held-out activity from its *own* share of the new-class data;
+4. the run reports per-device serving stats, the fleet's aggregate simulated
+   throughput, the per-device accuracy divergence, and a checkpoint → restore
+   round-trip check on one device.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.streams import build_incremental_scenario
+from repro.edge.cloud import CloudServer
+from repro.evaluation.scenarios import FLEET_SCENARIO, FleetScenarioSpec
+from repro.exceptions import ConfigurationError
+from repro.experiments.common import ExperimentSettings, make_dataset
+from repro.fleet.checkpoint import CheckpointStore
+from repro.fleet.coordinator import FleetAccuracyReport, FleetCoordinator
+from repro.fleet.router import Router, RoutingReport
+from repro.fleet.traffic import TrafficGenerator, WorkloadSpec, staggered_schedule
+from repro.utils.logging import get_logger
+from repro.utils.rng import resolve_rng, spawn_rngs
+
+logger = get_logger("fleet.simulation")
+
+
+@dataclass
+class FleetSimulationResult:
+    """Everything one fleet simulation run produced."""
+
+    n_devices: int
+    routing: RoutingReport
+    accuracy: FleetAccuracyReport
+    increment_ticks: Dict[int, int]
+    increment_samples: Dict[int, int]
+    checkpoint_roundtrip_exact: bool
+    device_rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        lines = [
+            "Fleet simulation: multi-device serving with staggered increments",
+            "",
+            f"devices: {self.n_devices}",
+            f"requests routed: {int(self.routing.total_requests)} "
+            f"({int(self.routing.total_windows)} windows)",
+            f"aggregate throughput: {self.routing.aggregate_throughput:.0f} windows/s "
+            f"(simulated, devices in parallel)",
+            "",
+            f"{'device':>7}{'profile':>14}{'requests':>10}{'throughput':>12}"
+            f"{'latency ms':>12}{'queue':>7}{'inc@tick':>9}{'accuracy':>10}",
+        ]
+        for row in self.device_rows:
+            lines.append(
+                f"{row['device_id']:>7}{row['profile']:>14}{row['requests']:>10}"
+                f"{row['throughput']:>12.0f}{row['mean_latency_ms']:>12.2f}"
+                f"{row['max_queue_depth']:>7}{row['increment_tick']:>9}"
+                f"{row['accuracy']:>10.4f}"
+            )
+        summary = self.accuracy.summary()
+        lines.extend(
+            [
+                "",
+                "per-device accuracy divergence after staggered increments:",
+                f"  mean {summary['mean']:.4f}, std {summary['std']:.4f}, "
+                f"spread (max-min) {summary['spread']:.4f}",
+                f"checkpoint/restore round-trip reproduces predictions: "
+                f"{self.checkpoint_roundtrip_exact}",
+            ]
+        )
+        return "\n".join(lines)
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    scenario: FleetScenarioSpec = FLEET_SCENARIO,
+    n_devices: Optional[int] = None,
+) -> FleetSimulationResult:
+    """Run one fleet simulation at the given experiment scale."""
+    settings = settings or ExperimentSettings.default()
+    if n_devices is None:
+        n_devices = scenario.n_devices
+    if n_devices <= 0:
+        raise ConfigurationError(f"n_devices must be positive, got {n_devices}")
+    rng = resolve_rng(settings.seed)
+    dataset = make_dataset(settings, rng=rng)
+    data_scenario = build_incremental_scenario(
+        dataset, [int(c) for c in scenario.new_classes], rng=rng
+    )
+
+    # 1. One cloud pre-training, one package for the whole fleet.
+    cloud = CloudServer(settings.config, seed=settings.seed)
+    cloud.pretrain(
+        data_scenario.old_train,
+        data_scenario.old_validation,
+        exemplars_per_class=settings.exemplars_per_class,
+    )
+    package = cloud.export_package()
+
+    # 2. Provision and deploy.
+    fleet = FleetCoordinator(settings.config, seed=settings.seed)
+    fleet.provision(n_devices)
+    fleet.deploy(package)
+
+    # 3. Staggered increments: device i learns the new activity at its own
+    #    tick from its own subsample, so the fleet genuinely drifts apart.
+    schedule = staggered_schedule(
+        n_devices,
+        start_tick=scenario.stagger_start_tick,
+        spacing_ticks=scenario.stagger_spacing_ticks,
+    )
+    increment_rngs = spawn_rngs(settings.seed, n_devices)
+    fractions = np.linspace(scenario.min_increment_fraction, 1.0, n_devices)
+    increment_samples: Dict[int, int] = {}
+    for device_id, tick in schedule.items():
+        n_samples = max(int(data_scenario.new_train.n_samples * fractions[device_id]), 2)
+        share = data_scenario.new_train.subsample(
+            n_samples, rng=increment_rngs[device_id]
+        )
+        increment_samples[device_id] = share.n_samples
+        fleet.schedule_increment(device_id, tick, share)
+
+    # 4. Route the open-loop traffic, applying increments as ticks pass.
+    workload = WorkloadSpec(
+        pattern=scenario.traffic_pattern,
+        n_users=scenario.n_users,
+        requests_per_tick=scenario.requests_per_tick,
+        n_ticks=scenario.n_ticks,
+    )
+    traffic = TrafficGenerator(data_scenario.test, workload, seed=settings.seed)
+    router = Router(fleet.devices, seed=settings.seed)
+    for tick_index, requests in enumerate(traffic.ticks()):
+        fleet.run_due_increments(tick_index)
+        router.dispatch_tick(requests)
+    fleet.run_due_increments(max(schedule.values()))  # anything past the stream
+    routing = router.report()
+
+    # 5. Fleet-level evaluation + a crash/replace round-trip on device 0.
+    accuracy = fleet.accuracy_report(data_scenario.test)
+    probe = data_scenario.test.features[: min(256, data_scenario.test.n_samples)]
+    device0 = fleet.device(0)
+    with tempfile.TemporaryDirectory() as scratch:
+        store = CheckpointStore(scratch)
+        checkpoint = store.save(device0)
+        restored = store.restore(checkpoint)
+        roundtrip_exact = bool(
+            np.array_equal(device0.infer(probe), restored.infer(probe))
+        )
+
+    device_rows = []
+    for device in fleet.devices:
+        stats = routing.per_device[device.device_id]
+        device_rows.append(
+            {
+                "device_id": device.device_id,
+                "profile": device.profile.name,
+                "requests": stats.requests,
+                "throughput": stats.throughput,
+                "mean_latency_ms": stats.mean_latency_seconds * 1e3,
+                "max_queue_depth": stats.max_queue_depth,
+                "increment_tick": schedule[device.device_id],
+                "accuracy": accuracy.per_device[device.device_id],
+            }
+        )
+    logger.info(
+        "fleet simulation: %d devices, %.0f windows/s aggregate, accuracy spread %.4f",
+        n_devices,
+        routing.aggregate_throughput,
+        accuracy.spread,
+    )
+    return FleetSimulationResult(
+        n_devices=n_devices,
+        routing=routing,
+        accuracy=accuracy,
+        increment_ticks=dict(schedule),
+        increment_samples=increment_samples,
+        checkpoint_roundtrip_exact=roundtrip_exact,
+        device_rows=device_rows,
+    )

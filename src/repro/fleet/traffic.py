@@ -1,0 +1,211 @@
+"""Deterministic open-loop traffic generation for fleet simulations.
+
+A production MAGNETO deployment serves a large user population whose requests
+are neither uniform nor steady: a few heavy users dominate (Zipf), load comes
+in bursts, and new activities reach different devices at different times.
+:class:`TrafficGenerator` produces such workloads reproducibly — the whole
+stream is a pure function of the workload spec and the seed, so benchmark and
+simulation runs can be replayed exactly.
+
+The generator is *open loop*: it emits what arrives per tick regardless of
+whether the fleet keeps up, which is what exposes queueing behaviour in the
+router's per-device stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.data.dataset import HARDataset
+from repro.exceptions import ConfigurationError, DataError
+from repro.utils.rng import RandomState, resolve_rng
+
+#: Workload patterns understood by :class:`TrafficGenerator`.
+PATTERNS = ("uniform", "bursty", "zipf")
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One user's inference request: a few feature windows to classify.
+
+    Attributes
+    ----------
+    user_id:
+        Stable identity of the requesting user; the router shards on it.
+    features:
+        ``(n_windows, n_features)`` feature matrix for this request.
+    arrival_seconds:
+        Simulated arrival time (tick index × tick duration).
+    """
+
+    user_id: int
+    features: np.ndarray
+    arrival_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.user_id < 0:
+            raise DataError(f"user_id must be non-negative, got {self.user_id}")
+
+    @property
+    def n_windows(self) -> int:
+        return int(self.features.shape[0])
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of an open-loop inference workload.
+
+    Attributes
+    ----------
+    pattern:
+        ``"uniform"`` (every user equally likely, steady rate), ``"bursty"``
+        (steady rate with periodic spikes) or ``"zipf"`` (skewed user
+        popularity — a heavy-hitter population).
+    n_users:
+        Size of the simulated user population.
+    requests_per_tick:
+        Base arrival rate (requests per tick).
+    n_ticks:
+        Length of the generated stream.
+    windows_per_request:
+        Feature windows carried by each request.
+    tick_seconds:
+        Simulated wall-clock duration of one tick (0 = replay as fast as the
+        fleet can drain, i.e. a pure throughput workload).
+    burst_every / burst_multiplier:
+        For ``"bursty"``: every ``burst_every``-th tick carries
+        ``burst_multiplier`` × the base rate.
+    zipf_exponent:
+        For ``"zipf"``: exponent of the rank-frequency law (larger = more
+        skewed toward the heaviest users).
+    """
+
+    pattern: str = "uniform"
+    n_users: int = 256
+    requests_per_tick: int = 64
+    n_ticks: int = 10
+    windows_per_request: int = 1
+    tick_seconds: float = 0.0
+    burst_every: int = 4
+    burst_multiplier: float = 4.0
+    zipf_exponent: float = 1.1
+
+    def __post_init__(self) -> None:
+        if self.pattern not in PATTERNS:
+            raise ConfigurationError(
+                f"pattern must be one of {PATTERNS}, got {self.pattern!r}"
+            )
+        if self.n_users <= 0 or self.requests_per_tick <= 0 or self.n_ticks <= 0:
+            raise ConfigurationError(
+                "n_users, requests_per_tick and n_ticks must be positive"
+            )
+        if self.windows_per_request <= 0:
+            raise ConfigurationError("windows_per_request must be positive")
+        if self.tick_seconds < 0:
+            raise ConfigurationError("tick_seconds must be non-negative")
+        if self.burst_every <= 0 or self.burst_multiplier < 1.0:
+            raise ConfigurationError(
+                "burst_every must be positive and burst_multiplier >= 1"
+            )
+        if self.zipf_exponent <= 0:
+            raise ConfigurationError("zipf_exponent must be positive")
+
+    def requests_at_tick(self, tick: int) -> int:
+        """Arrival count for one tick under this spec."""
+        if self.pattern == "bursty" and tick % self.burst_every == self.burst_every - 1:
+            return int(round(self.requests_per_tick * self.burst_multiplier))
+        return self.requests_per_tick
+
+
+class TrafficGenerator:
+    """Seeded generator of :class:`InferenceRequest` streams.
+
+    Parameters
+    ----------
+    pool:
+        Feature matrix (or :class:`~repro.data.dataset.HARDataset`) that
+        request windows are sampled from.
+    spec:
+        The workload shape.
+    seed:
+        Seed or generator; the emitted stream is fully determined by it.
+    """
+
+    def __init__(
+        self,
+        pool,
+        spec: WorkloadSpec = WorkloadSpec(),
+        seed: RandomState = None,
+    ) -> None:
+        features = pool.features if isinstance(pool, HARDataset) else np.asarray(pool)
+        if features.ndim != 2 or features.shape[0] == 0:
+            raise DataError(
+                f"pool must be a non-empty (n, d) feature matrix, got shape {features.shape}"
+            )
+        self.pool = features
+        self.spec = spec
+        self._rng = resolve_rng(seed)
+        if spec.pattern == "zipf":
+            ranks = np.arange(1, spec.n_users + 1, dtype=np.float64)
+            weights = ranks ** (-spec.zipf_exponent)
+            self._user_pmf = weights / weights.sum()
+        else:
+            self._user_pmf = None
+
+    # ------------------------------------------------------------------ #
+    def _draw_users(self, count: int) -> np.ndarray:
+        if self._user_pmf is not None:
+            return self._rng.choice(self.spec.n_users, size=count, p=self._user_pmf)
+        return self._rng.integers(0, self.spec.n_users, size=count)
+
+    def tick(self, tick_index: int) -> List[InferenceRequest]:
+        """Requests arriving during one tick (advances the internal stream)."""
+        spec = self.spec
+        count = spec.requests_at_tick(tick_index)
+        users = self._draw_users(count)
+        rows = self._rng.integers(
+            0, self.pool.shape[0], size=(count, spec.windows_per_request)
+        )
+        arrival = tick_index * spec.tick_seconds
+        return [
+            InferenceRequest(
+                user_id=int(users[i]),
+                features=self.pool[rows[i]],
+                arrival_seconds=arrival,
+            )
+            for i in range(count)
+        ]
+
+    def ticks(self) -> Iterator[List[InferenceRequest]]:
+        """Iterate over all ``spec.n_ticks`` ticks of the stream."""
+        for tick_index in range(self.spec.n_ticks):
+            yield self.tick(tick_index)
+
+    def requests(self) -> List[InferenceRequest]:
+        """The whole stream flattened (convenience for benchmarks)."""
+        flattened: List[InferenceRequest] = []
+        for batch in self.ticks():
+            flattened.extend(batch)
+        return flattened
+
+
+def staggered_schedule(
+    n_devices: int, *, start_tick: int = 1, spacing_ticks: int = 1
+) -> Dict[int, int]:
+    """Tick at which each device first sees new-activity data.
+
+    Staggered arrival is what makes a fleet drift: device 0 integrates the new
+    activity at ``start_tick``, device 1 ``spacing_ticks`` later, and so on —
+    mirroring a rollout where users adopt a new activity at different times.
+    """
+    if n_devices <= 0:
+        raise ConfigurationError(f"n_devices must be positive, got {n_devices}")
+    if start_tick < 0 or spacing_ticks < 0:
+        raise ConfigurationError("start_tick and spacing_ticks must be non-negative")
+    return {
+        device_id: start_tick + device_id * spacing_ticks
+        for device_id in range(n_devices)
+    }

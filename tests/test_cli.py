@@ -16,6 +16,12 @@ class TestParser:
     def test_default_scale_is_quick(self):
         assert build_parser().parse_args(["figure4"]).scale == "quick"
 
+    def test_fleet_sim_accepts_devices_flag(self):
+        arguments = build_parser().parse_args(["fleet-sim", "--devices", "4"])
+        assert arguments.experiment == "fleet-sim"
+        assert arguments.devices == 4
+        assert build_parser().parse_args(["fleet-sim"]).devices is None
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table99"])

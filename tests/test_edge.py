@@ -55,6 +55,11 @@ class TestEdgeDevice:
         with pytest.raises(EdgeResourceError):
             device.store("x", -1)
 
+    def test_infer_without_engine_explains_attach(self):
+        device = EdgeDevice()
+        with pytest.raises(NotFittedError, match="attach_inference"):
+            device.infer(np.zeros((1, 4)))
+
 
 class TestTransferPackaging:
     def test_package_contents_and_sizes(self, pretrained_pilote):
@@ -90,7 +95,7 @@ class TestCloudServer:
         assert package.total_bytes > 0
 
     def test_export_before_pretrain_raises(self, tiny_config):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(NotFittedError):
             CloudServer(tiny_config).export_package()
 
 

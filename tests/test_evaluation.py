@@ -104,7 +104,14 @@ class TestScenarioSpecs:
 
     def test_all_scenarios_index(self):
         index = all_scenarios()
-        assert set(index) == {"table2", "figure4", "figure5", "figure6", "figure7"}
+        assert set(index) == {"table2", "figure4", "figure5", "figure6", "figure7", "fleet"}
+
+    def test_fleet_scenario_shape(self):
+        from repro.evaluation.scenarios import FLEET_SCENARIO
+
+        assert FLEET_SCENARIO.n_devices == 8
+        assert FLEET_SCENARIO.traffic_pattern == "zipf"
+        assert Activity.RUN in FLEET_SCENARIO.new_classes
 
 
 class TestExperimentRunner:

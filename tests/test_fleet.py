@@ -1,0 +1,374 @@
+"""Tests for the fleet subsystem: traffic, routing, coordination, checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PiloteConfig
+from repro.data.activities import Activity
+from repro.edge.device import DEVICE_PROFILES, DeviceProfile
+from repro.edge.magneto import MagnetoPlatform
+from repro.edge.transfer import package_for_edge
+from repro.evaluation.scenarios import FleetScenarioSpec
+from repro.exceptions import (
+    ConfigurationError,
+    DataError,
+    EdgeResourceError,
+    NotFittedError,
+    SerializationError,
+)
+from repro.experiments.common import ExperimentSettings
+from repro.fleet import (
+    CheckpointStore,
+    FleetCoordinator,
+    InferenceRequest,
+    Router,
+    TrafficGenerator,
+    WorkloadSpec,
+    staggered_schedule,
+)
+from repro.fleet import simulation as fleet_simulation
+
+
+@pytest.fixture(scope="module")
+def package(pretrained_pilote):
+    """The cloud broadcast shared by the fleet tests (read-only)."""
+    return package_for_edge(pretrained_pilote)
+
+
+@pytest.fixture()
+def fleet(package, tiny_config):
+    """A three-device fleet freshly deployed from the shared package."""
+    coordinator = FleetCoordinator(tiny_config, seed=0)
+    coordinator.provision(3)
+    coordinator.deploy(package)
+    return coordinator
+
+
+@pytest.fixture(scope="module")
+def pool(pretrained_pilote, run_scenario):
+    """Feature rows used as request payloads."""
+    return run_scenario.test.features
+
+
+class TestTrafficGenerator:
+    def test_same_seed_same_stream(self, pool):
+        spec = WorkloadSpec(pattern="zipf", n_users=50, requests_per_tick=16, n_ticks=3)
+        first = TrafficGenerator(pool, spec, seed=9).requests()
+        second = TrafficGenerator(pool, spec, seed=9).requests()
+        assert len(first) == len(second)
+        for a, b in zip(first, second):
+            assert a.user_id == b.user_id
+            assert np.array_equal(a.features, b.features)
+
+    def test_bursty_pattern_spikes(self, pool):
+        spec = WorkloadSpec(
+            pattern="bursty", requests_per_tick=10, n_ticks=8,
+            burst_every=4, burst_multiplier=3.0,
+        )
+        counts = [len(batch) for batch in TrafficGenerator(pool, spec, seed=1).ticks()]
+        assert counts == [10, 10, 10, 30, 10, 10, 10, 30]
+
+    def test_zipf_skews_toward_head_users(self, pool):
+        spec = WorkloadSpec(
+            pattern="zipf", n_users=100, requests_per_tick=500, n_ticks=2,
+            zipf_exponent=1.5,
+        )
+        requests = TrafficGenerator(pool, spec, seed=3).requests()
+        users = np.array([r.user_id for r in requests])
+        head_share = float(np.mean(users == 0))
+        assert head_share > 3.0 / spec.n_users  # far above the uniform share
+
+    def test_arrival_seconds_follow_ticks(self, pool):
+        spec = WorkloadSpec(requests_per_tick=4, n_ticks=3, tick_seconds=0.5)
+        ticks = list(TrafficGenerator(pool, spec, seed=0).ticks())
+        assert all(r.arrival_seconds == pytest.approx(1.0) for r in ticks[2])
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(pattern="nope")
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(n_users=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(burst_multiplier=0.5)
+
+    def test_negative_user_rejected(self, pool):
+        with pytest.raises(DataError):
+            InferenceRequest(user_id=-1, features=pool[:1])
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(DataError):
+            TrafficGenerator(np.empty((0, 8)), WorkloadSpec(), seed=0)
+
+    def test_staggered_schedule(self):
+        schedule = staggered_schedule(3, start_tick=2, spacing_ticks=3)
+        assert schedule == {0: 2, 1: 5, 2: 8}
+        with pytest.raises(ConfigurationError):
+            staggered_schedule(0)
+
+
+class TestRouterSharding:
+    def test_same_seed_same_assignment(self, fleet):
+        users = np.arange(500)
+        first = Router(fleet.devices, seed=11).shard(users)
+        second = Router(fleet.devices, seed=11).shard(users)
+        assert np.array_equal(first, second)
+
+    def test_different_seed_rebalances(self, fleet):
+        users = np.arange(500)
+        first = Router(fleet.devices, seed=11).shard(users)
+        second = Router(fleet.devices, seed=12).shard(users)
+        assert not np.array_equal(first, second)
+
+    def test_assignment_is_stable_per_user_and_in_range(self, fleet):
+        router = Router(fleet.devices, seed=5)
+        users = np.array([7, 7, 7, 123, 123])
+        assignment = router.shard(users)
+        assert len(set(assignment[:3].tolist())) == 1
+        assert len(set(assignment[3:].tolist())) == 1
+        assert assignment.min() >= 0 and assignment.max() < 3
+
+    def test_roughly_balanced_over_many_users(self, fleet):
+        assignment = Router(fleet.devices, seed=2).shard(np.arange(3000))
+        counts = np.bincount(assignment, minlength=3)
+        assert counts.min() > 700  # each device gets a fair share of 1000±
+
+    def test_needs_devices(self):
+        with pytest.raises(ConfigurationError):
+            Router([], seed=0)
+
+
+class TestRouterDispatch:
+    def test_predictions_match_direct_device_inference(self, package, tiny_config, pool):
+        coordinator = FleetCoordinator(tiny_config, seed=0)
+        coordinator.provision(1)
+        coordinator.deploy(package)
+        device = coordinator.devices[0]
+        requests = [
+            InferenceRequest(user_id=i, features=pool[4 * i:4 * i + 4])
+            for i in range(8)
+        ]
+        router = Router(coordinator.devices, seed=3)
+        predictions = router.dispatch_tick(requests)
+        direct = device.infer(np.concatenate([r.features for r in requests], axis=0))
+        assert np.array_equal(np.concatenate(predictions), direct)
+
+    def test_stats_accumulate(self, fleet, pool):
+        spec = WorkloadSpec(n_users=40, requests_per_tick=12, n_ticks=4)
+        traffic = TrafficGenerator(pool, spec, seed=1)
+        router = Router(fleet.devices, seed=1)
+        report = router.route(traffic.ticks())
+        assert report.total_requests == 48
+        assert report.total_windows == 48
+        assert sum(s.requests for s in report.per_device.values()) == 48
+        assert report.makespan_seconds > 0
+        assert report.aggregate_throughput > 0
+        served = [s for s in report.per_device.values() if s.requests]
+        assert all(s.busy_seconds > 0 and s.max_queue_depth >= 1 for s in served)
+        assert all(s.mean_latency_seconds >= 0 for s in served)
+
+    def test_empty_tick_is_noop(self, fleet):
+        router = Router(fleet.devices, seed=1)
+        assert router.dispatch_tick([]) == []
+        assert router.report().total_requests == 0
+
+
+class TestFleetCoordinator:
+    def test_provision_cycles_profiles(self, tiny_config):
+        profiles = [DEVICE_PROFILES["smartphone"], DEVICE_PROFILES["raspberry-pi"]]
+        coordinator = FleetCoordinator(tiny_config, profiles=profiles, seed=0)
+        devices = coordinator.provision(3)
+        assert [d.profile.name for d in devices] == [
+            "smartphone", "raspberry-pi", "smartphone",
+        ]
+        assert [d.device_id for d in devices] == [0, 1, 2]
+
+    def test_package_carries_exemplar_policy(self, pretrained_pilote, package, fleet):
+        assert package.exemplar_strategy == pretrained_pilote.exemplars.strategy
+        assert package.exemplar_capacity == pretrained_pilote.exemplars.capacity
+        device_store = fleet.devices[0].learner.exemplars
+        assert device_store.strategy == pretrained_pilote.exemplars.strategy
+        assert device_store.capacity == pretrained_pilote.exemplars.capacity
+
+    def test_deploy_gives_independent_learners(self, fleet):
+        first, second = fleet.devices[0].learner, fleet.devices[1].learner
+        assert first is not second
+        first.prototypes.set(99, np.zeros(first.config.embedding_dim))
+        assert 99 not in second.prototypes.classes
+        # Weights are copies, not views of the package arrays.
+        name, parameter = next(iter(first.model.named_parameters()))
+        parameter.data[...] = 0.0
+        _, other = next(iter(second.model.named_parameters()))
+        assert not np.allclose(other.data, 0.0)
+
+    def test_devices_serve_after_deploy(self, fleet, pool):
+        predictions = fleet.devices[2].infer(pool[:16])
+        assert predictions.shape == (16,)
+        assert fleet.devices[2].edge.storage_used > 0
+
+    def test_deploy_requires_provision(self, package, tiny_config):
+        with pytest.raises(ConfigurationError):
+            FleetCoordinator(tiny_config).deploy(package)
+
+    def test_unknown_device_rejected(self, fleet, run_scenario):
+        with pytest.raises(ConfigurationError):
+            fleet.schedule_increment(42, 1, run_scenario.new_train)
+        with pytest.raises(ConfigurationError):
+            fleet.device(42)
+
+    def test_increments_wait_for_their_tick(self, fleet, run_scenario):
+        fleet.schedule_increment(0, 5, run_scenario.new_train)
+        assert fleet.run_due_increments(4) == {}
+        assert fleet.pending_increments() == [(5, 0)]
+
+    def test_staggered_increment_diverges_fleet(self, package, tiny_config, run_scenario):
+        coordinator = FleetCoordinator(tiny_config, seed=0)
+        coordinator.provision(2)
+        coordinator.deploy(package)
+        coordinator.schedule_increment(0, 1, run_scenario.new_train)
+        histories = coordinator.run_due_increments(1)
+        assert set(histories) == {0}
+        assert int(Activity.RUN) in coordinator.device(0).learner.classes_
+        assert int(Activity.RUN) not in coordinator.device(1).learner.classes_
+        report = coordinator.accuracy_report(run_scenario.test)
+        assert set(report.per_device) == {0, 1}
+        assert report.per_device[0] > report.per_device[1]
+        assert report.spread > 0
+        summary = report.summary()
+        assert summary["spread"] == pytest.approx(report.spread)
+
+    def test_to_fleet_from_platform(self, pretrained_pilote, tiny_config, pool):
+        platform = MagnetoPlatform(tiny_config, seed=0)
+        with pytest.raises(NotFittedError):
+            platform.to_fleet(2)
+        platform.cloud.learner = pretrained_pilote  # skip re-pretraining
+        fleet = platform.to_fleet(2)
+        assert len(fleet) == 2
+        assert all(d.is_deployed for d in fleet.devices)
+        assert fleet.devices[0].infer(pool[:4]).shape == (4,)
+
+
+class TestCheckpointStore:
+    def test_roundtrip_reproduces_predictions_exactly(self, fleet, pool, tmp_path):
+        device = fleet.device(1)
+        store = CheckpointStore(tmp_path)
+        checkpoint = store.save(device)
+        restored = store.restore(checkpoint)
+        assert restored.device_id == device.device_id
+        assert restored.profile == device.profile
+        assert restored.edge.storage_used > 0
+        assert np.array_equal(device.infer(pool[:200]), restored.infer(pool[:200]))
+
+    def test_restore_by_device_id_uses_latest(self, fleet, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(fleet.device(0))
+        newest = store.save(fleet.device(0))
+        assert store.latest(0) == newest
+        restored = store.restore(0)
+        assert restored.device_id == 0
+        with pytest.raises(SerializationError):
+            store.restore(7)
+
+    def test_eviction_under_storage_budget(self, fleet, tmp_path):
+        probe = CheckpointStore(tmp_path / "probe").save(fleet.device(0))
+        budget = int(probe.nbytes * 2.5)
+        store = CheckpointStore(tmp_path / "store", budget_bytes=budget)
+        first = store.save(fleet.device(0))
+        second = store.save(fleet.device(1))
+        third = store.save(fleet.device(2))
+        kept = store.checkpoints()
+        assert first not in kept and second in kept and third in kept
+        assert not first.path.exists()
+        assert second.path.exists() and third.path.exists()
+        assert store.total_bytes <= budget
+        assert store.latest(0) is None
+
+    def test_checkpoint_larger_than_budget_rejected(self, fleet, tmp_path):
+        store = CheckpointStore(tmp_path, budget_bytes=100)
+        with pytest.raises(EdgeResourceError):
+            store.save(fleet.device(0))
+        assert store.checkpoints() == []
+        assert list(store.directory.glob("*.npz")) == []
+
+    def test_profile_budget_constructor(self, tmp_path):
+        profile = DeviceProfile("tiny", storage_bytes=4096, memory_bytes=4096)
+        store = CheckpointStore.for_profile(tmp_path, profile)
+        assert store.budget_bytes == 4096
+
+    def test_undeployed_device_rejected(self, tiny_config, tmp_path):
+        coordinator = FleetCoordinator(tiny_config, seed=0)
+        device = coordinator.provision(1)[0]
+        with pytest.raises(SerializationError):
+            CheckpointStore(tmp_path).save(device)
+
+    def test_restored_device_swaps_into_fleet(self, fleet, pool, tmp_path):
+        store = CheckpointStore(tmp_path)
+        checkpoint = store.save(fleet.device(2))
+        replacement = store.restore(checkpoint)
+        fleet.replace_device(2, replacement)
+        assert fleet.device(2) is replacement
+        assert fleet.device(2).infer(pool[:4]).shape == (4,)
+
+    def test_restore_of_evicted_handle_is_typed_error(self, fleet, tmp_path):
+        probe = CheckpointStore(tmp_path / "probe").save(fleet.device(0))
+        store = CheckpointStore(tmp_path / "store", budget_bytes=int(probe.nbytes * 1.5))
+        evicted = store.save(fleet.device(0))
+        store.save(fleet.device(1))  # pushes the first checkpoint out
+        assert not evicted.path.exists()
+        with pytest.raises(SerializationError, match="evicted"):
+            store.restore(evicted)
+
+    def test_live_router_follows_device_replacement(self, fleet, pool, tmp_path):
+        router = Router(fleet.devices, seed=1)
+        replaced_id = int(router.shard([7])[0])
+        crashed = fleet.devices[replaced_id]
+        store = CheckpointStore(tmp_path)
+        replacement = store.restore(store.save(crashed))
+        fleet.replace_device(crashed.device_id, replacement)
+        before = replacement.edge.inference_requests
+        router.dispatch_tick([InferenceRequest(user_id=7, features=pool[:2])])
+        assert replacement.edge.inference_requests == before + 1
+        assert crashed.edge.inference_requests == 0
+
+    def test_router_rejects_resized_fleet(self, fleet, pool):
+        router = Router(fleet.devices, seed=1)
+        fleet.provision(1)
+        with pytest.raises(ConfigurationError):
+            router.dispatch_tick([InferenceRequest(user_id=1, features=pool[:1])])
+
+
+class TestFleetSimulation:
+    def test_tiny_end_to_end_run(self):
+        settings = ExperimentSettings(
+            samples_per_class=40,
+            n_rounds=1,
+            config=PiloteConfig(
+                hidden_dims=(32, 16), embedding_dim=8, batch_size=16,
+                max_epochs_pretrain=3, max_epochs_increment=2, cache_size=60,
+                max_pairs_per_batch=64, seed=0,
+            ),
+            exemplars_per_class=8,
+            seed=0,
+        )
+        scenario = FleetScenarioSpec(
+            experiment_id="fleet-test",
+            description="tiny two-device simulation",
+            n_devices=2,
+            new_classes=(Activity.RUN,),
+            traffic_pattern="uniform",
+            n_users=20,
+            requests_per_tick=8,
+            n_ticks=4,
+        )
+        with pytest.raises(ConfigurationError):
+            fleet_simulation.run(settings, scenario=scenario, n_devices=0)
+        result = fleet_simulation.run(settings, scenario=scenario)
+        assert result.n_devices == 2
+        assert result.routing.total_requests == 32
+        assert set(result.accuracy.per_device) == {0, 1}
+        assert result.checkpoint_roundtrip_exact
+        assert result.increment_ticks == {0: 1, 1: 2}
+        assert all(n >= 2 for n in result.increment_samples.values())
+        text = result.to_text()
+        assert "Fleet simulation" in text
+        assert "divergence" in text
+        assert "round-trip reproduces predictions: True" in text
