@@ -88,7 +88,8 @@ def main() -> None:
     print("    extrapolated mean epoch seconds on a wearable: "
           f"{report.scaled_to(DEVICE_PROFILES['wearable']).mean_epoch_seconds:.3f}")
 
-    predictions = platform.edge_predict(scenario.test.features)
+    # Serving goes through the unified client (same API as a fleet).
+    predictions = platform.serving_client().predict(scenario.test.features)
     accuracy = float(np.mean(predictions == scenario.test.labels))
     print(f"\n[edge] accuracy on all {len(scenario.all_classes)} activities: {accuracy:.4f}")
     print("[edge] storage ledger:")

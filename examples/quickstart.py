@@ -13,20 +13,33 @@ Run with::
 
     python examples/quickstart.py
 
+Serving
+-------
+
+Predictions are served through the unified serving API
+(:mod:`repro.serving`): ``serve(learner)`` builds a client speaking the same
+typed :class:`~repro.serving.PredictRequest` /
+:class:`~repro.serving.PredictResponse` protocol that also fronts a
+``MagnetoPlatform`` or a whole device fleet — step 6 below uses it, and
+``examples/serving_api.py`` covers futures, deadlines, routing policies and
+staged rollouts.
+
 Fleet serving
 -------------
 
 Everything here is single-device, exactly as in the paper.  To serve many
-devices from one cloud broadcast — user-sharded request routing, staggered
-per-device increments, checkpoint/restore — see
-``examples/fleet_simulation.py`` and the :mod:`repro.fleet` package, or run
-``pilote fleet-sim --scale quick`` for the end-to-end simulation.
+devices from one cloud broadcast — request routing, staggered per-device
+increments, checkpoint/restore — see ``examples/fleet_simulation.py`` and
+the :mod:`repro.fleet` package, run ``pilote fleet-sim --scale quick
+--routing least-loaded`` for the end-to-end simulation, or ``pilote serve``
+for the same workload answered by every serving layer.
 """
 
 from repro import PILOTE, PiloteConfig
 from repro.data import Activity, build_incremental_scenario, make_feature_dataset
 from repro.metrics.classification import classification_report
 from repro.metrics.forgetting import new_class_accuracy, old_class_accuracy
+from repro.serving import PredictRequest, serve
 
 
 def main() -> None:
@@ -69,6 +82,19 @@ def main() -> None:
     footprint = learner.memory_footprint()
     print(f"edge footprint: model {footprint['model_bytes'] / 1024:.1f} KB, "
           f"support set {footprint['support_set_bytes'] / 1024:.1f} KB")
+
+    # 6. Serving through the unified API: the same client (and request/
+    #    response types) would front a MagnetoPlatform or an N-device fleet.
+    client = serve(learner)
+    pending = client.submit(
+        PredictRequest(user_id=7, features=scenario.test.features[:4])
+    )
+    client.drain()
+    response = pending.result()
+    print()
+    print(f"served {response.n_windows} windows for user {response.user_id} "
+          f"in {response.latency_seconds * 1e3:.2f} ms (simulated) "
+          f"on device {response.device_id}")
 
 
 if __name__ == "__main__":

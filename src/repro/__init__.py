@@ -52,14 +52,39 @@ Fleet serving
 :mod:`repro.fleet` scales the single-device pipeline out to many devices
 behind one cloud broadcast: :class:`~repro.fleet.FleetCoordinator` provisions
 and deploys the fleet (``MagnetoPlatform.to_fleet(n)`` is the one-liner),
-:class:`~repro.fleet.Router` shards traffic by user id and batches through
-each device's engine, :class:`~repro.fleet.TrafficGenerator` replays seeded
-uniform/bursty/Zipf workloads, and :class:`~repro.fleet.CheckpointStore`
-snapshots/restores device state under a storage budget.  Run the end-to-end
-simulation with ``pilote fleet-sim``.
+:class:`~repro.fleet.TrafficGenerator` replays seeded uniform/bursty/Zipf
+workloads, and :class:`~repro.fleet.CheckpointStore` snapshots/restores
+device state under a storage budget.  Run the end-to-end simulation with
+``pilote fleet-sim``.
 
-See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for the
-paper-versus-measured comparison of every table and figure.
+Unified serving API
+-------------------
+
+:mod:`repro.serving` is the single front door for predictions, whichever
+layer answers them.  ``serve(obj)`` builds a :class:`~repro.serving
+.ServingClient` from a bare :class:`PILOTE` learner, a
+:class:`MagnetoPlatform` or a whole :class:`~repro.fleet.FleetCoordinator`;
+every layer speaks the same typed protocol::
+
+    from repro.serving import serve, PredictRequest
+
+    client = serve(learner)                       # or serve(platform/fleet)
+    class_ids = client.predict(windows)           # synchronous one-liner
+
+    pending = client.submit(
+        PredictRequest(user_id=7, features=windows, deadline_seconds=0.5)
+    )
+    client.drain()                                # event loop, simulated clock
+    response = pending.result()                   # ids + device + latency
+
+Fleet clients take a routing policy (``routing="hash" | "least-loaded" |
+"p2c"``), and ``FleetCoordinator.deploy(package, rollout=...)`` stages
+releases (all-at-once, canary fractions, A/B cohorts by user hash) with
+per-cohort accuracy/latency reports.  The legacy entry points
+(``MagnetoPlatform.edge_predict``, ``EdgeDevice.infer``, ``Router.submit``)
+are deprecation shims over this client.  ``examples/quickstart.py`` and
+``examples/serving_api.py`` walk through the API; ``pilote serve`` runs the
+three-layer demonstration.
 """
 
 from repro.backend import Backend, NumpyBackend, get_backend, precision, set_backend
@@ -74,8 +99,15 @@ from repro.fleet import (
     TrafficGenerator,
     WorkloadSpec,
 )
+from repro.serving import (
+    PendingResult,
+    PredictRequest,
+    PredictResponse,
+    ServingClient,
+    serve,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "PILOTE",
@@ -95,6 +127,11 @@ __all__ = [
     "TrafficGenerator",
     "WorkloadSpec",
     "CheckpointStore",
+    "serve",
+    "ServingClient",
+    "PredictRequest",
+    "PredictResponse",
+    "PendingResult",
     "Backend",
     "NumpyBackend",
     "get_backend",

@@ -9,7 +9,10 @@ of the paper's tables/figures and prints it::
 
 Beyond the paper, ``pilote fleet-sim`` runs the multi-device fleet serving
 simulation (:mod:`repro.fleet.simulation`); ``--devices`` overrides the fleet
-size of the default scenario.
+size of the default scenario and ``--routing {hash,least-loaded,p2c}`` picks
+the serving client's routing policy.  ``pilote serve`` answers one seeded
+workload through all three serving layers (bare learner, MAGNETO platform,
+fleet) over the unified :mod:`repro.serving` API.
 
 The ``--scale`` flag picks an :class:`~repro.experiments.common.ExperimentSettings`
 preset (``quick``, ``default`` or ``paper``).
@@ -33,6 +36,8 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentSettings
 from repro.fleet import simulation as fleet_simulation
+from repro.serving import ROUTING_POLICIES
+from repro.serving import simulation as serving_simulation
 from repro.utils.logging import enable_console_logging
 
 _EXPERIMENTS: Dict[str, Callable] = {
@@ -45,7 +50,11 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "edge": lambda settings: edge_resources.run(settings),
     "multi-increment": lambda settings: multi_increment.run(settings),
     "fleet-sim": lambda settings, **kw: fleet_simulation.run(settings, **kw),
+    "serve": lambda settings, **kw: serving_simulation.run(settings, **kw),
 }
+
+#: Subcommands that take the serving flags (--devices / --routing).
+_SERVING_EXPERIMENTS = ("fleet-sim", "serve")
 
 _SCALES = {
     "quick": ExperimentSettings.quick,
@@ -72,7 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--devices",
         type=int,
         default=None,
-        help="fleet size for the fleet-sim experiment (default: scenario's 8)",
+        help="fleet size for the fleet-sim/serve experiments (default: scenario's 8)",
+    )
+    parser.add_argument(
+        "--routing",
+        choices=sorted(ROUTING_POLICIES),
+        default=None,
+        help="serving routing policy for fleet-sim/serve (default: scenario's hash)",
     )
     parser.add_argument(
         "--verbose", action="store_true", help="enable progress logging to stderr"
@@ -87,8 +102,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arguments.verbose:
         enable_console_logging()
     settings = _SCALES[arguments.scale](seed=arguments.seed)
-    if arguments.experiment == "fleet-sim":
-        result = _EXPERIMENTS[arguments.experiment](settings, n_devices=arguments.devices)
+    if arguments.experiment in _SERVING_EXPERIMENTS:
+        result = _EXPERIMENTS[arguments.experiment](
+            settings, n_devices=arguments.devices, routing=arguments.routing
+        )
     else:
         result = _EXPERIMENTS[arguments.experiment](settings)
     print(result.to_text())

@@ -28,6 +28,7 @@ from repro.utils.rng import RandomState
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.fleet.coordinator import FleetCoordinator
+    from repro.serving.client import ServingClient
 
 logger = get_logger("edge.magneto")
 
@@ -47,6 +48,7 @@ class MagnetoPlatform:
         self.package: Optional[TransferPackage] = None
         self.edge_learner: Optional[PILOTE] = None
         self.increment_histories: List[TrainingHistory] = []
+        self._serving_client = None  # cached default repro.serving client
 
     # ------------------------------------------------------------------ #
     def cloud_pretrain(
@@ -99,13 +101,50 @@ class MagnetoPlatform:
         self.device.store("prototypes", self.edge_learner.prototypes.nbytes())
         return history
 
-    def edge_predict(self, features: np.ndarray) -> np.ndarray:
-        """Step 4: on-device batched inference through the serving engine."""
+    def _serve_edge(self, features: np.ndarray) -> np.ndarray:
+        """Raw single-device serving path behind the unified client."""
         if self.edge_learner is None:
             raise NotFittedError("the edge learner is not initialised")
         if self.device.engine is not None:
-            return self.device.infer(features)
+            return self.device.serve(features)
         return self.edge_learner.predict(features)
+
+    def serving_client(self, **kwargs) -> "ServingClient":
+        """The platform's unified serving client (cached without options).
+
+        Equivalent to ``repro.serving.serve(platform)``; keyword arguments
+        (``routing``, ``seed``) are forwarded and bypass the cache.
+        """
+        from repro.serving.client import serve
+
+        if kwargs:
+            return serve(self, **kwargs)
+        if self._serving_client is None:
+            self._serving_client = serve(self)
+        return self._serving_client
+
+    def edge_predict(self, features: np.ndarray) -> np.ndarray:
+        """Step 4: on-device batched inference (deprecated entry point).
+
+        .. deprecated::
+            Use ``platform.serving_client().predict(features)`` — or
+            ``repro.serving.serve(platform)`` for deadlines, futures and
+            per-request metadata.  This shim delegates to that client, so
+            output and device accounting are identical to the new path.
+        """
+        import warnings
+
+        warnings.warn(
+            "MagnetoPlatform.edge_predict is deprecated; use "
+            "repro.serving.serve(platform).predict(features) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if np.asarray(features).shape[0] == 0:
+            # The protocol rejects empty requests; the legacy path answered
+            # them with an empty prediction array — preserve that here.
+            return self._serve_edge(features)
+        return self.serving_client().predict(features)
 
     # ------------------------------------------------------------------ #
     def to_fleet(self, n_devices: int, profiles=None) -> "FleetCoordinator":

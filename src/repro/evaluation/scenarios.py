@@ -98,6 +98,9 @@ class FleetScenarioSpec:
     stagger_start_tick: int = 1
     stagger_spacing_ticks: int = 1
     min_increment_fraction: float = 0.4
+    #: Serving-client routing policy ("hash", "least-loaded" or "p2c");
+    #: overridable from the CLI via ``pilote fleet-sim --routing ...``.
+    routing_policy: str = "hash"
 
 
 #: Fleet simulation — 8 devices, Zipf-skewed users, staggered 'Run' arrival.

@@ -11,8 +11,13 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
-class ConfigurationError(ReproError):
-    """Raised when a configuration object holds invalid or inconsistent values."""
+class ConfigurationError(ReproError, ValueError):
+    """Raised when a configuration object holds invalid or inconsistent values.
+
+    Also a :class:`ValueError`, so callers validating plain values (e.g. a
+    :class:`~repro.fleet.traffic.WorkloadSpec` with a non-positive rate) can
+    catch the standard built-in without importing the library hierarchy.
+    """
 
 
 class DataError(ReproError):
@@ -37,3 +42,19 @@ class EdgeResourceError(ReproError):
 
 class SerializationError(ReproError):
     """Raised when a model or dataset cannot be saved or restored."""
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the unified serving API."""
+
+
+class InvalidRequestError(ServingError, DataError):
+    """Raised when a :class:`~repro.serving.PredictRequest` is malformed."""
+
+
+class DeadlineExceededError(ServingError):
+    """Raised when a request's deadline passes before service begins."""
+
+
+class RoutingError(ServingError, ConfigurationError):
+    """Raised when requests cannot be routed (unknown policy, resized fleet)."""

@@ -18,8 +18,12 @@ that architecture out to a *fleet* behind a single cloud broadcast:
 
 Entry points: ``MagnetoPlatform.to_fleet(n)``, the ``pilote fleet-sim`` CLI
 subcommand, ``examples/fleet_simulation.py`` and
-``benchmarks/bench_fleet.py``.  Future async serving and sharded backends
-build on the router/engine seam here.
+``benchmarks/bench_fleet.py``.
+
+Serving itself now goes through :mod:`repro.serving`: ``serve(fleet)``
+builds a futures-based client whose event-loop scheduler supersedes the
+router's synchronous per-tick drain, with pluggable routing policies and
+rollout staging on ``FleetCoordinator.deploy``.
 """
 
 from repro.fleet.checkpoint import CheckpointStore, DeviceCheckpoint

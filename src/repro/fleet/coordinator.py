@@ -80,10 +80,14 @@ class FleetDevice:
             self.edge.attach_inference(learner.inference_engine())
 
     # ------------------------------------------------------------------ #
-    def infer(self, windows: np.ndarray) -> np.ndarray:
+    def serve(self, windows: np.ndarray) -> np.ndarray:
         """Serve a batch of windows at this device's compute dtype."""
         with self.edge.precision():
-            return self.edge.infer(windows)
+            return self.edge.serve(windows)
+
+    #: The event-loop scheduler and legacy router both call ``infer`` on a
+    #: device-like target; for a fleet device it is simply :meth:`serve`.
+    infer = serve
 
     def learn_new_activity(
         self,
@@ -172,6 +176,7 @@ class FleetCoordinator:
         self.devices: List[FleetDevice] = []
         self.package: Optional[TransferPackage] = None
         self._pending_increments: List[Tuple[int, int, HARDataset, Optional[HARDataset]]] = []
+        self._rollout = None  # ActiveRollout when deploy(..., rollout=...) ran
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -200,20 +205,137 @@ class FleetCoordinator:
         logger.info("provisioned %d devices (%d total)", n_devices, len(self.devices))
         return created
 
-    def deploy(self, package: TransferPackage) -> None:
-        """Broadcast one transfer package to every not-yet-deployed device."""
+    def deploy(self, package: TransferPackage, rollout=None) -> None:
+        """Deploy one transfer package across the fleet.
+
+        Without a ``rollout`` policy this is the historical broadcast: every
+        not-yet-deployed device receives the package at once.  With one — a
+        :class:`~repro.serving.rollout.RolloutPolicy` instance or registry
+        name (``"all-at-once"``, ``"staged"``, ``"ab"``) — the policy plans
+        which devices receive the package at which stage; stage 0 is applied
+        immediately and :meth:`advance_rollout` applies the rest.  Cohort
+        labels from the plan feed :meth:`rollout_report`.
+        """
         if not self.devices:
             raise ConfigurationError("provision() must run before deploy()")
-        targets = [d for d in self.devices if not d.is_deployed]
+        if rollout is None:
+            targets = [d for d in self.devices if not d.is_deployed]
+            self._deploy_to(targets, package)
+            self._rollout = None
+        else:
+            from repro.serving.rollout import ActiveRollout, make_rollout_policy
+
+            policy = make_rollout_policy(rollout)
+            plan = policy.plan([d.device_id for d in self.devices], self._root_rng)
+            self._deploy_to([self.device(i) for i in plan.stages[0]], package)
+            self._rollout = ActiveRollout(policy=policy, plan=plan, package=package)
+            logger.info(
+                "rollout %r: stage 0/%d deployed to %d devices",
+                policy.name,
+                plan.n_stages,
+                len(plan.stages[0]),
+            )
+        self.package = package
+
+    def _deploy_to(self, targets: Sequence[FleetDevice], package: TransferPackage) -> None:
         seeds = spawn_rngs(self._root_rng, len(targets))
         for device, device_rng in zip(targets, seeds):
             device.deploy(package, self.config, seed=device_rng)
-        self.package = package
         logger.info(
             "deployed %.2f KB package to %d devices",
             package.total_bytes / 1024,
             len(targets),
         )
+
+    # ------------------------------------------------------------------ #
+    # staged rollout
+    # ------------------------------------------------------------------ #
+    @property
+    def active_rollout(self):
+        """The rollout in progress, or ``None``."""
+        return self._rollout
+
+    def cohort_of(self, device_id: int) -> Optional[str]:
+        """Rollout cohort label of one device (``None`` without a rollout)."""
+        if self._rollout is None:
+            return None
+        return self._rollout.plan.cohorts.get(int(device_id))
+
+    def advance_rollout(self) -> List[int]:
+        """Deploy the next rollout stage; returns the newly deployed ids.
+
+        Returns an empty list once the plan is exhausted (the rollout stays
+        recorded for cohort reporting).  Raises
+        :class:`~repro.exceptions.ConfigurationError` when no rollout is
+        active.
+        """
+        if self._rollout is None:
+            raise ConfigurationError("no rollout in progress; deploy(..., rollout=...) first")
+        if self._rollout.complete:
+            return []
+        stage = self._rollout.plan.stages[self._rollout.next_stage]
+        self._deploy_to([self.device(i) for i in stage], self._rollout.package)
+        self._rollout.next_stage += 1
+        logger.info(
+            "rollout %r: stage %d/%d deployed to %d devices",
+            self._rollout.policy.name,
+            self._rollout.next_stage - 1,
+            self._rollout.plan.n_stages,
+            len(stage),
+        )
+        return list(stage)
+
+    def rollout_report(self, dataset: Optional[HARDataset] = None, serving=None):
+        """Per-cohort accuracy and latency across the current rollout.
+
+        ``dataset`` (optional) is evaluated on every *deployed* device's
+        learner for per-cohort accuracy; ``serving`` (an optional
+        :class:`~repro.fleet.router.RoutingReport`, e.g.
+        ``client.report()``) contributes per-cohort request counts and
+        mean/p99 simulated latency.
+        """
+        from repro.serving.rollout import CohortReport, RolloutReport
+
+        if self._rollout is None:
+            raise ConfigurationError("no rollout in progress; deploy(..., rollout=...) first")
+        cohorts = self._rollout.plan.cohorts
+        report = RolloutReport(policy=self._rollout.policy.name)
+        for device in self.devices:
+            cohort = cohorts.get(device.device_id)
+            if cohort is None:
+                continue
+            row = report.per_cohort.setdefault(
+                cohort, CohortReport(cohort=cohort, device_ids=[], n_deployed=0)
+            )
+            row.device_ids.append(device.device_id)
+            if device.is_deployed:
+                row.n_deployed += 1
+        if dataset is not None:
+            for row in report.per_cohort.values():
+                accuracies = [
+                    self.device(i).accuracy(dataset)
+                    for i in row.device_ids
+                    if self.device(i).is_deployed
+                ]
+                row.accuracy = float(np.mean(accuracies)) if accuracies else None
+        if serving is not None:
+            for row in report.per_cohort.values():
+                stats = [
+                    serving.per_device[i]
+                    for i in row.device_ids
+                    if i in serving.per_device
+                ]
+                row.requests = int(sum(s.requests for s in stats))
+                if row.requests:
+                    row.mean_latency_seconds = (
+                        sum(s.total_latency_seconds for s in stats) / row.requests
+                    )
+                latencies = [l for s in stats for l in s.latencies]
+                if latencies:
+                    row.p99_latency_seconds = float(
+                        np.percentile(np.asarray(latencies), 99.0)
+                    )
+        return report
 
     def replace_device(self, device_id: int, replacement: FleetDevice) -> FleetDevice:
         """Swap a (crashed) device for its replacement, keeping the id slot."""

@@ -11,12 +11,21 @@ profile's ``relative_compute``, and devices drain their queues *in parallel*
 in simulated time.  Aggregate fleet throughput is therefore
 ``total_windows / makespan`` where the makespan is the latest completion time
 across devices — the quantity ``benchmarks/bench_fleet.py`` gates on.
+
+The synchronous per-tick drain here is the *legacy* serving surface: new code
+should go through :mod:`repro.serving`, whose event-loop scheduler
+(:class:`~repro.serving.EventLoopScheduler`) serves the same requests with
+futures, deadlines and pluggable routing policies at no extra per-request
+overhead (``benchmarks/bench_serving.py`` gates that).  The router stays for
+its sharding hash (which :class:`~repro.serving.HashRouting` reuses) and for
+callers of the tick-synchronous API.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -24,12 +33,8 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.fleet.coordinator import FleetDevice
 from repro.fleet.traffic import InferenceRequest
+from repro.utils.hashing import splitmix64
 from repro.utils.rng import RandomState, resolve_rng
-
-# 64-bit mixing constants (splitmix64 finaliser) for the sharding hash.
-_MIX1 = np.uint64(0xFF51AFD7ED558CCD)
-_MIX2 = np.uint64(0xC4CEB9FE1A85EC53)
-_SHIFT = np.uint64(33)
 
 
 @dataclass
@@ -46,6 +51,10 @@ class DeviceStats:
     total_latency_seconds: float = 0.0
     max_queue_depth: int = 0
     available_at: float = 0.0        # simulated time the device frees up
+    #: Per-request simulated latencies; populated by the event-loop scheduler
+    #: (the legacy tick drain only tracks the aggregate) for percentile views.
+    #: Bounded to the scheduler's most recent LATENCY_HISTORY_CAP requests.
+    latencies: List[float] = field(default_factory=list, repr=False)
 
     @property
     def throughput(self) -> float:
@@ -70,11 +79,17 @@ class DeviceStats:
 
 @dataclass
 class RoutingReport:
-    """Fleet-level view over the per-device stats after a routed stream."""
+    """Fleet-level view over the per-device stats after a routed stream.
+
+    ``total_requests`` counts *served* requests (it matches the sum of the
+    per-device rows); requests expired past their deadline before service
+    are reported separately in ``total_expired``.
+    """
 
     per_device: Dict[int, DeviceStats]
     total_requests: int = 0
     total_windows: int = 0
+    total_expired: int = 0
 
     @property
     def makespan_seconds(self) -> float:
@@ -91,6 +106,32 @@ class RoutingReport:
     def engine_wall_seconds(self) -> float:
         """Measured (not simulated) engine compute across the fleet."""
         return sum(s.wall_seconds for s in self.per_device.values())
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        total = sum(s.total_latency_seconds for s in self.per_device.values())
+        return total / self.total_requests if self.total_requests else 0.0
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Simulated latency percentile (``quantile`` in [0, 100]).
+
+        Needs per-request latencies, which only the event-loop scheduler
+        records (over its most recent window per device — see
+        ``repro.serving.scheduler.LATENCY_HISTORY_CAP``); returns 0.0 for
+        reports produced by the legacy tick drain.
+        """
+        samples = [
+            latency
+            for stats in self.per_device.values()
+            for latency in stats.latencies
+        ]
+        if not samples:
+            return 0.0
+        return float(np.percentile(np.asarray(samples), quantile))
+
+    @property
+    def p99_latency_seconds(self) -> float:
+        return self.latency_percentile(99.0)
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -133,26 +174,67 @@ class Router:
         }
         self._total_requests = 0
         self._total_windows = 0
+        self._legacy_client = None  # lazy ServingClient behind the submit() shim
 
     # ------------------------------------------------------------------ #
     @property
     def n_devices(self) -> int:
         return len(self._devices)
 
+    def replace_device(self, device_id: int, replacement) -> None:
+        """Swap a (crashed) device in the live device list, keeping its slot.
+
+        Mutates the shared list, so a coordinator (and any event-loop
+        scheduler) holding the same list sees the replacement immediately —
+        including for requests already in flight.
+        """
+        for index, candidate in enumerate(self._devices):
+            if candidate.device_id == device_id:
+                self._devices[index] = replacement
+                return
+        raise ConfigurationError(f"no device with id {device_id} behind this router")
+
+    def submit(self, request) -> np.ndarray:
+        """Deprecated single-request entry point; returns per-window class ids.
+
+        .. deprecated::
+            Use the unified serving client instead —
+            ``repro.serving.serve(fleet).submit(request)`` returns a
+            :class:`~repro.serving.PendingResult` future with deadlines and
+            metadata support.  This shim delegates to that client (same
+            sharding salt, so the same user → device placement) and blocks on
+            the result.
+        """
+        warnings.warn(
+            "Router.submit is deprecated; build a client with "
+            "repro.serving.serve(...) and use submit()/predict() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        client = self._legacy_client
+        if client is None:
+            from repro.serving.client import ServingClient
+            from repro.serving.routing import HashRouting
+
+            client = ServingClient(
+                self._devices, routing=HashRouting(salt=self._salt)
+            )
+            self._legacy_client = client
+        pending = client.submit(request)
+        client.drain()
+        return pending.result().class_ids
+
     def shard(self, user_ids) -> np.ndarray:
         """Deterministic device index for each user id (vectorised).
 
-        Uses a salted splitmix64 finaliser so the assignment is uniform over
-        devices, stable per user, and reproducible from the router seed.
+        Uses the shared salted splitmix64 finaliser
+        (:func:`repro.utils.hashing.splitmix64` — the same one
+        :class:`~repro.serving.HashRouting` hashes with) so the assignment
+        is uniform over devices, stable per user, and reproducible from the
+        router seed.
         """
-        ids = np.atleast_1d(np.asarray(user_ids)).astype(np.uint64)
-        v = ids + self._salt
-        v ^= v >> _SHIFT
-        v *= _MIX1
-        v ^= v >> _SHIFT
-        v *= _MIX2
-        v ^= v >> _SHIFT
-        return (v % np.uint64(self._n_shards)).astype(np.int64)
+        hashed = splitmix64(user_ids, self._salt)
+        return (hashed % np.uint64(self._n_shards)).astype(np.int64)
 
     # ------------------------------------------------------------------ #
     def dispatch_tick(
@@ -228,12 +310,50 @@ class Router:
         return self.report()
 
     def report(self) -> RoutingReport:
-        """Current routing statistics (stats keep accumulating afterwards)."""
+        """Current routing statistics (stats keep accumulating afterwards).
+
+        Traffic served through the deprecated :meth:`submit` shim is folded
+        in, so mixing the two entry points does not undercount.
+        """
+        per_device = dict(self._stats)
+        total_requests = self._total_requests
+        total_windows = self._total_windows
+        total_expired = 0
+        if self._legacy_client is not None:
+            shim = self._legacy_client.report()
+            total_requests += shim.total_requests
+            total_windows += shim.total_windows
+            total_expired += shim.total_expired
+            for device_id, extra in shim.per_device.items():
+                if extra.requests == 0:
+                    continue
+                base = per_device.get(device_id)
+                per_device[device_id] = (
+                    _merged_stats(base, extra) if base is not None else extra
+                )
         return RoutingReport(
-            per_device=dict(self._stats),
-            total_requests=self._total_requests,
-            total_windows=self._total_windows,
+            per_device=per_device,
+            total_requests=total_requests,
+            total_windows=total_windows,
+            total_expired=total_expired,
         )
+
+
+def _merged_stats(base: DeviceStats, extra: DeviceStats) -> DeviceStats:
+    """Sum two stats rows for the same device (tick drain + submit shim)."""
+    return DeviceStats(
+        device_id=base.device_id,
+        profile=base.profile,
+        requests=base.requests + extra.requests,
+        windows=base.windows + extra.windows,
+        batches=base.batches + extra.batches,
+        busy_seconds=base.busy_seconds + extra.busy_seconds,
+        wall_seconds=base.wall_seconds + extra.wall_seconds,
+        total_latency_seconds=base.total_latency_seconds + extra.total_latency_seconds,
+        max_queue_depth=max(base.max_queue_depth, extra.max_queue_depth),
+        available_at=max(base.available_at, extra.available_at),
+        latencies=base.latencies + extra.latencies,
+    )
 
 
 #: Alias emphasising the balancing role in docs and examples.

@@ -29,7 +29,7 @@ from repro.exceptions import ConfigurationError
 from repro.experiments.common import ExperimentSettings, make_dataset
 from repro.fleet.checkpoint import CheckpointStore
 from repro.fleet.coordinator import FleetAccuracyReport, FleetCoordinator
-from repro.fleet.router import Router, RoutingReport
+from repro.fleet.router import RoutingReport
 from repro.fleet.traffic import TrafficGenerator, WorkloadSpec, staggered_schedule
 from repro.utils.logging import get_logger
 from repro.utils.rng import resolve_rng, spawn_rngs
@@ -48,16 +48,18 @@ class FleetSimulationResult:
     increment_samples: Dict[int, int]
     checkpoint_roundtrip_exact: bool
     device_rows: List[Dict[str, object]] = field(default_factory=list)
+    routing_policy: str = "hash"
 
     def to_text(self) -> str:
         lines = [
             "Fleet simulation: multi-device serving with staggered increments",
             "",
-            f"devices: {self.n_devices}",
+            f"devices: {self.n_devices}  (routing policy: {self.routing_policy})",
             f"requests routed: {int(self.routing.total_requests)} "
             f"({int(self.routing.total_windows)} windows)",
             f"aggregate throughput: {self.routing.aggregate_throughput:.0f} windows/s "
             f"(simulated, devices in parallel)",
+            f"p99 latency: {self.routing.p99_latency_seconds * 1e3:.2f} ms (simulated)",
             "",
             f"{'device':>7}{'profile':>14}{'requests':>10}{'throughput':>12}"
             f"{'latency ms':>12}{'queue':>7}{'inc@tick':>9}{'accuracy':>10}",
@@ -88,13 +90,19 @@ def run(
     *,
     scenario: FleetScenarioSpec = FLEET_SCENARIO,
     n_devices: Optional[int] = None,
+    routing: Optional[str] = None,
 ) -> FleetSimulationResult:
-    """Run one fleet simulation at the given experiment scale."""
+    """Run one fleet simulation at the given experiment scale.
+
+    ``routing`` picks the serving client's routing policy (``"hash"``,
+    ``"least-loaded"``, ``"p2c"``); the default comes from the scenario.
+    """
     settings = settings or ExperimentSettings.default()
     if n_devices is None:
         n_devices = scenario.n_devices
     if n_devices <= 0:
         raise ConfigurationError(f"n_devices must be positive, got {n_devices}")
+    routing = routing or scenario.routing_policy
     rng = resolve_rng(settings.seed)
     dataset = make_dataset(settings, rng=rng)
     data_scenario = build_incremental_scenario(
@@ -133,7 +141,10 @@ def run(
         increment_samples[device_id] = share.n_samples
         fleet.schedule_increment(device_id, tick, share)
 
-    # 4. Route the open-loop traffic, applying increments as ticks pass.
+    # 4. Serve the open-loop traffic through the unified client's event-loop
+    #    scheduler, applying increments at tick boundaries as they fall due.
+    from repro.serving.client import serve  # deferred: serving imports fleet
+
     workload = WorkloadSpec(
         pattern=scenario.traffic_pattern,
         n_users=scenario.n_users,
@@ -141,12 +152,13 @@ def run(
         n_ticks=scenario.n_ticks,
     )
     traffic = TrafficGenerator(data_scenario.test, workload, seed=settings.seed)
-    router = Router(fleet.devices, seed=settings.seed)
+    client = serve(fleet, routing=routing, seed=settings.seed)
     for tick_index, requests in enumerate(traffic.ticks()):
         fleet.run_due_increments(tick_index)
-        router.dispatch_tick(requests)
+        client.submit_many(requests)
+        client.drain()  # per-tick drain keeps increments ordered between ticks
     fleet.run_due_increments(max(schedule.values()))  # anything past the stream
-    routing = router.report()
+    routing_report = client.report()
 
     # 5. Fleet-level evaluation + a crash/replace round-trip on device 0.
     accuracy = fleet.accuracy_report(data_scenario.test)
@@ -162,7 +174,7 @@ def run(
 
     device_rows = []
     for device in fleet.devices:
-        stats = routing.per_device[device.device_id]
+        stats = routing_report.per_device[device.device_id]
         device_rows.append(
             {
                 "device_id": device.device_id,
@@ -178,15 +190,16 @@ def run(
     logger.info(
         "fleet simulation: %d devices, %.0f windows/s aggregate, accuracy spread %.4f",
         n_devices,
-        routing.aggregate_throughput,
+        routing_report.aggregate_throughput,
         accuracy.spread,
     )
     return FleetSimulationResult(
         n_devices=n_devices,
-        routing=routing,
+        routing=routing_report,
         accuracy=accuracy,
         increment_ticks=dict(schedule),
         increment_samples=increment_samples,
         checkpoint_roundtrip_exact=roundtrip_exact,
         device_rows=device_rows,
+        routing_policy=client.routing,
     )

@@ -94,16 +94,29 @@ class WorkloadSpec:
     zipf_exponent: float = 1.1
 
     def __post_init__(self) -> None:
+        # All spec errors are ConfigurationError, which is also a ValueError:
+        # a non-positive rate/duration/user count fails loudly and typed here
+        # instead of producing an empty or nonsensical traffic stream.
         if self.pattern not in PATTERNS:
             raise ConfigurationError(
                 f"pattern must be one of {PATTERNS}, got {self.pattern!r}"
             )
-        if self.n_users <= 0 or self.requests_per_tick <= 0 or self.n_ticks <= 0:
+        if self.n_users <= 0:
             raise ConfigurationError(
-                "n_users, requests_per_tick and n_ticks must be positive"
+                f"n_users must be positive, got {self.n_users}"
+            )
+        if self.requests_per_tick <= 0:
+            raise ConfigurationError(
+                f"requests_per_tick must be positive, got {self.requests_per_tick}"
+            )
+        if self.n_ticks <= 0:
+            raise ConfigurationError(
+                f"n_ticks must be positive, got {self.n_ticks}"
             )
         if self.windows_per_request <= 0:
-            raise ConfigurationError("windows_per_request must be positive")
+            raise ConfigurationError(
+                f"windows_per_request must be positive, got {self.windows_per_request}"
+            )
         if self.tick_seconds < 0:
             raise ConfigurationError("tick_seconds must be non-negative")
         if self.burst_every <= 0 or self.burst_multiplier < 1.0:

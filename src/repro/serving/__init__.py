@@ -1,0 +1,102 @@
+"""Unified serving API: one request/response protocol for every layer.
+
+PILOTE is ultimately a *serving* story — incremental HAR models answering
+user traffic on extreme-edge hardware — and this package is its single
+front door:
+
+* **protocol** (:mod:`repro.serving.protocol`) — typed
+  :class:`PredictRequest` / :class:`PredictResponse` with per-request
+  deadlines and metadata, :class:`PendingResult` futures completed on the
+  simulated clock, and :class:`~repro.exceptions.ServingError` failures;
+* **client** (:mod:`repro.serving.client`) — :func:`serve` builds a
+  :class:`ServingClient` from a bare learner, a ``MagnetoPlatform``, an
+  ``EdgeDevice`` or a whole ``FleetCoordinator``; every layer answers the
+  same API;
+* **scheduler** (:mod:`repro.serving.scheduler`) — an event-loop
+  :class:`EventLoopScheduler` over the fleet's simulated ``DeviceStats``
+  clock, superseding the legacy router's synchronous per-tick drain;
+* **routing** (:mod:`repro.serving.routing`) — pluggable
+  :class:`RoutingPolicy` implementations (seeded ``"hash"``,
+  ``"least-loaded"``, power-of-two-choices ``"p2c"``), selectable per
+  client and from the CLI;
+* **rollout** (:mod:`repro.serving.rollout`) — :class:`RolloutPolicy`
+  staging on ``FleetCoordinator.deploy`` (all-at-once, staged canary
+  fractions, A/B cohorts by user hash) with per-cohort accuracy/latency
+  reports.
+
+``benchmarks/bench_serving.py`` gates the scheduler's per-request overhead
+against the legacy router and the p99 latency win of ``least-loaded`` over
+``hash`` under Zipf-skewed traffic.
+"""
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    InvalidRequestError,
+    RoutingError,
+    ServingError,
+)
+from repro.serving.client import (
+    IN_PROCESS_PROFILE,
+    LocalServingDevice,
+    ServingClient,
+    serve,
+)
+from repro.serving.protocol import (
+    PendingResult,
+    Prediction,
+    PredictRequest,
+    PredictResponse,
+)
+from repro.serving.rollout import (
+    ABRollout,
+    ActiveRollout,
+    AllAtOnceRollout,
+    CohortReport,
+    ROLLOUT_POLICIES,
+    RolloutPlan,
+    RolloutPolicy,
+    RolloutReport,
+    StagedRollout,
+    make_rollout_policy,
+)
+from repro.serving.routing import (
+    HashRouting,
+    LeastLoadedRouting,
+    PowerOfTwoRouting,
+    ROUTING_POLICIES,
+    RoutingPolicy,
+    make_routing_policy,
+)
+from repro.serving.scheduler import EventLoopScheduler
+
+__all__ = [
+    "serve",
+    "ServingClient",
+    "PredictRequest",
+    "PredictResponse",
+    "Prediction",
+    "PendingResult",
+    "EventLoopScheduler",
+    "RoutingPolicy",
+    "HashRouting",
+    "LeastLoadedRouting",
+    "PowerOfTwoRouting",
+    "ROUTING_POLICIES",
+    "make_routing_policy",
+    "RolloutPolicy",
+    "AllAtOnceRollout",
+    "StagedRollout",
+    "ABRollout",
+    "RolloutPlan",
+    "ActiveRollout",
+    "CohortReport",
+    "RolloutReport",
+    "ROLLOUT_POLICIES",
+    "make_rollout_policy",
+    "LocalServingDevice",
+    "IN_PROCESS_PROFILE",
+    "ServingError",
+    "InvalidRequestError",
+    "DeadlineExceededError",
+    "RoutingError",
+]

@@ -1,0 +1,324 @@
+"""`ServingClient` — one serving facade for every layer of the system.
+
+``serve(obj)`` builds a client from whatever can answer predictions:
+
+* a bare :class:`~repro.core.pilote.PILOTE` learner (or its
+  :class:`~repro.edge.inference.InferenceEngine`) — served in process;
+* an :class:`~repro.edge.device.EdgeDevice` with an attached engine;
+* a :class:`~repro.edge.magneto.MagnetoPlatform` — the paper's one-device
+  pipeline;
+* a :class:`~repro.fleet.FleetCoordinator` — an N-device fleet with
+  pluggable routing.
+
+Every layer answers the *same* protocol (:class:`~repro.serving.protocol
+.PredictRequest` in, :class:`~repro.serving.protocol.PendingResult` /
+:class:`~repro.serving.protocol.PredictResponse` out), so code written
+against the client is indifferent to whether one learner or eight devices sit
+behind it::
+
+    from repro.serving import serve, PredictRequest
+
+    client = serve(fleet, routing="least-loaded", seed=0)
+    pending = client.submit(PredictRequest(user_id=7, features=windows))
+    client.drain()                      # run the event loop
+    response = pending.result()         # class ids + latency + device id
+
+    class_ids = serve(learner).predict(windows)   # one-liner, same types
+
+When the fleet has an active A/B rollout
+(:class:`~repro.serving.rollout.ABRollout`), the client confines each user to
+their cohort's devices before applying the routing policy, so treatment and
+control populations never mix.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.edge.device import DeviceProfile, EdgeDevice
+from repro.edge.inference import InferenceEngine
+from repro.edge.magneto import MagnetoPlatform
+from repro.exceptions import RoutingError, ServingError
+from repro.fleet.coordinator import FleetCoordinator, FleetDevice
+from repro.fleet.router import RoutingReport
+from repro.serving.protocol import PendingResult, PredictRequest
+from repro.serving.routing import RoutingPolicy
+from repro.serving.scheduler import EventLoopScheduler
+from repro.utils.rng import RandomState
+
+__all__ = ["ServingClient", "serve", "LocalServingDevice", "IN_PROCESS_PROFILE"]
+
+#: Profile of the in-process pseudo-device wrapping a bare learner/engine.
+IN_PROCESS_PROFILE = DeviceProfile(
+    "in-process",
+    storage_bytes=2**30,
+    memory_bytes=2**30,
+    relative_compute=1.0,
+)
+
+
+class LocalServingDevice:
+    """Adapts any ``infer(windows) -> class_ids`` callable to the device API.
+
+    Gives bare learners, engines and edge devices the interface the
+    event-loop scheduler expects from a fleet device: ``infer``,
+    ``device_id`` and ``profile``.
+    """
+
+    def __init__(
+        self,
+        infer,
+        *,
+        profile: DeviceProfile = IN_PROCESS_PROFILE,
+        device_id: int = 0,
+    ) -> None:
+        self._infer = infer
+        self.profile = profile
+        self.device_id = int(device_id)
+
+    def infer(self, windows: np.ndarray) -> np.ndarray:
+        return self._infer(windows)
+
+
+class ServingClient:
+    """Futures-based serving client over an event-loop scheduler.
+
+    Parameters
+    ----------
+    devices:
+        Device-like targets (``FleetCoordinator.devices`` passes its live
+        list, so device replacement reaches in-flight requests).
+    routing:
+        Policy name (``"hash"``, ``"least-loaded"``, ``"p2c"``), a
+        :class:`~repro.serving.routing.RoutingPolicy` instance, or ``None``
+        for the seeded-hash default.
+    seed:
+        Seeds the routing policy; same seed, same placement.
+    coordinator:
+        The owning :class:`~repro.fleet.FleetCoordinator`, when there is one;
+        enables cohort-confined routing under an active A/B rollout.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence,
+        *,
+        routing: Union[str, RoutingPolicy, None] = None,
+        seed: RandomState = None,
+        coordinator: Optional[FleetCoordinator] = None,
+        label: str = "fleet",
+    ) -> None:
+        self._scheduler = EventLoopScheduler(devices, routing, seed=seed)
+        self._coordinator = coordinator
+        self.label = label
+
+    # ------------------------------------------------------------------ #
+    @property
+    def routing(self) -> str:
+        """Name of the active routing policy."""
+        return self._scheduler.policy.name
+
+    @property
+    def scheduler(self) -> EventLoopScheduler:
+        return self._scheduler
+
+    @property
+    def n_devices(self) -> int:
+        return self._scheduler.n_devices
+
+    @property
+    def pending_requests(self) -> int:
+        return self._scheduler.pending_requests
+
+    # ------------------------------------------------------------------ #
+    def submit(self, request) -> PendingResult:
+        """Queue one request; returns a future completed by :meth:`drain`."""
+        return self.submit_many([request])[0]
+
+    def submit_many(self, requests: Sequence) -> List[PendingResult]:
+        """Queue many requests at once (vectorised routing), one future each.
+
+        Routing only considers *deployed* devices, so serving keeps working
+        mid-rollout (staged canaries leave part of the fleet without a
+        learner until :meth:`~repro.fleet.FleetCoordinator.advance_rollout`
+        reaches it).  Under an active A/B rollout, each user is additionally
+        confined to their cohort's devices.
+        """
+        rollout = (
+            self._coordinator.active_rollout if self._coordinator is not None else None
+        )
+        if rollout is not None and rollout.routes_users:
+            return self._submit_cohorted(requests, rollout)
+        lanes = self._deployed_lanes()
+        if lanes is None:
+            return self._scheduler.submit_many(requests)
+        if not requests:
+            return []
+        user_ids = np.fromiter(
+            (r.user_id for r in requests), dtype=np.int64, count=len(requests)
+        )
+        assignment = self._scheduler.policy.assign_batch(
+            requests, user_ids, self._scheduler, lanes=lanes
+        )
+        return self._scheduler.submit_assigned(requests, assignment)
+
+    def drain(self) -> int:
+        """Run the event loop until every pending request is answered."""
+        return self._scheduler.drain()
+
+    def predict(
+        self,
+        features: np.ndarray,
+        *,
+        user_id: int = 0,
+        arrival_seconds: float = 0.0,
+        deadline_seconds: Optional[float] = None,
+        metadata=None,
+    ) -> np.ndarray:
+        """Synchronous convenience: submit one request, drain, return ids."""
+        pending = self.submit(
+            PredictRequest(
+                user_id=user_id,
+                features=features,
+                arrival_seconds=arrival_seconds,
+                deadline_seconds=deadline_seconds,
+                metadata=metadata,
+            )
+        )
+        self.drain()
+        return pending.result().class_ids
+
+    def report(self) -> RoutingReport:
+        """Per-device serving statistics on the simulated clock."""
+        return self._scheduler.report()
+
+    def replace_device(self, device_id: int, replacement) -> None:
+        """Swap a device; queued requests are served by the replacement."""
+        self._scheduler.replace_device(device_id, replacement)
+
+    def describe(self) -> dict:
+        return {
+            "label": self.label,
+            "routing": self.routing,
+            "n_devices": self.n_devices,
+            "pending_requests": self.pending_requests,
+        }
+
+    # ------------------------------------------------------------------ #
+    def _deployed_lanes(self) -> Optional[np.ndarray]:
+        """Lane subset with a deployed device, or ``None`` when all are.
+
+        Only meaningful behind a coordinator (fleet devices know whether
+        they carry a learner yet); local adapters are always servable.
+        """
+        if self._coordinator is None:
+            return None
+        devices = self._scheduler.devices
+        lanes = [
+            position
+            for position, device in enumerate(devices)
+            if getattr(device, "is_deployed", True)
+        ]
+        if len(lanes) == len(devices):
+            return None
+        if not lanes:
+            raise RoutingError("no deployed devices in the fleet; deploy() first")
+        return np.asarray(lanes, dtype=np.int64)
+
+    def _submit_cohorted(self, requests: Sequence, rollout) -> List[PendingResult]:
+        """Confine each user to their rollout cohort, then route within it."""
+        scheduler = self._scheduler
+        cohort_indices: dict = {}
+        for index, request in enumerate(requests):
+            cohort = rollout.policy.user_cohort(request.user_id)
+            cohort_indices.setdefault(cohort, []).append(index)
+        # Resolve every cohort's lanes up front: an unservable cohort raises
+        # *before* anything is queued, so no request is half-submitted.
+        lanes_by_cohort = {
+            cohort: self._cohort_lanes(rollout, cohort) for cohort in cohort_indices
+        }
+        futures: List[Optional[PendingResult]] = [None] * len(requests)
+        for cohort, indices in cohort_indices.items():
+            lanes = lanes_by_cohort[cohort]
+            group = [requests[i] for i in indices]
+            user_ids = np.fromiter(
+                (r.user_id for r in group), dtype=np.int64, count=len(group)
+            )
+            assignment = scheduler.policy.assign_batch(
+                group, user_ids, scheduler, lanes=lanes
+            )
+            for future, index in zip(
+                scheduler.submit_assigned(group, assignment), indices
+            ):
+                futures[index] = future
+        return futures  # type: ignore[return-value]
+
+    def _cohort_lanes(self, rollout, cohort: Optional[str]) -> Optional[np.ndarray]:
+        if cohort is None:
+            return None
+        lanes = [
+            position
+            for position, device in enumerate(self._scheduler.devices)
+            if rollout.plan.cohorts.get(device.device_id) == cohort
+            and getattr(device, "is_deployed", True)
+        ]
+        if not lanes:
+            raise RoutingError(
+                f"rollout cohort {cohort!r} has no deployed devices to serve it"
+            )
+        return np.asarray(lanes, dtype=np.int64)
+
+
+# ---------------------------------------------------------------------- #
+def serve(
+    target,
+    *,
+    routing: Union[str, RoutingPolicy, None] = None,
+    seed: RandomState = None,
+) -> ServingClient:
+    """Build a :class:`ServingClient` from any serving-capable object.
+
+    Accepts a :class:`~repro.core.pilote.PILOTE` learner, an
+    :class:`~repro.edge.inference.InferenceEngine`, an
+    :class:`~repro.edge.device.EdgeDevice`, a
+    :class:`~repro.edge.magneto.MagnetoPlatform`, a single
+    :class:`~repro.fleet.FleetDevice` or a whole
+    :class:`~repro.fleet.FleetCoordinator` — every layer answers the same
+    request/response protocol afterwards.
+    """
+    from repro.core.pilote import PILOTE  # deferred: core must not import serving
+
+    if isinstance(target, FleetCoordinator):
+        if not target.devices:
+            raise ServingError("the fleet has no devices; provision() first")
+        return ServingClient(
+            target.devices,
+            routing=routing,
+            seed=seed,
+            coordinator=target,
+            label="fleet",
+        )
+    if isinstance(target, FleetDevice):
+        return ServingClient([target], routing=routing, seed=seed, label="fleet-device")
+    if isinstance(target, MagnetoPlatform):
+        device = LocalServingDevice(
+            target._serve_edge, profile=target.device.profile
+        )
+        return ServingClient([device], routing=routing, seed=seed, label="platform")
+    if isinstance(target, EdgeDevice):
+        device = LocalServingDevice(target.serve, profile=target.profile)
+        return ServingClient([device], routing=routing, seed=seed, label="edge-device")
+    if isinstance(target, InferenceEngine):
+        device = LocalServingDevice(target.predict)
+        return ServingClient([device], routing=routing, seed=seed, label="engine")
+    if isinstance(target, PILOTE):
+        engine = target.inference_engine()
+        device = LocalServingDevice(engine.predict)
+        return ServingClient([device], routing=routing, seed=seed, label="learner")
+    raise ServingError(
+        f"don't know how to serve {type(target).__name__}; expected a PILOTE "
+        "learner, InferenceEngine, EdgeDevice, MagnetoPlatform, FleetDevice "
+        "or FleetCoordinator"
+    )

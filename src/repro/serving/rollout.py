@@ -1,0 +1,253 @@
+"""Rollout policies — the staging seam on ``FleetCoordinator.deploy``.
+
+A :class:`RolloutPolicy` decides *which devices receive a package when*, and
+labels every device with a cohort so accuracy/latency can be compared across
+the rollout:
+
+* :class:`AllAtOnceRollout` (``"all-at-once"``) — the historical behaviour:
+  one stage, every device, one ``"fleet"`` cohort;
+* :class:`StagedRollout` (``"staged"``) — canary fractions: stage 0 deploys
+  to the first ``fractions[0]`` share of the fleet, each
+  ``FleetCoordinator.advance_rollout()`` call widens to the next fraction;
+* :class:`ABRollout` (``"ab"``) — a treatment arm of devices receives the
+  package while the control arm keeps what it was running; *users* are
+  hashed into matching cohorts, and the serving client confines each user
+  to their arm's devices.
+
+The coordinator owns the state (:class:`ActiveRollout`) and the reporting
+(:meth:`~repro.fleet.FleetCoordinator.rollout_report` — per-cohort accuracy
+from the device learners, per-cohort latency from a serving report).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ServingError
+from repro.serving.routing import splitmix64
+
+__all__ = [
+    "RolloutPolicy",
+    "AllAtOnceRollout",
+    "StagedRollout",
+    "ABRollout",
+    "RolloutPlan",
+    "ActiveRollout",
+    "CohortReport",
+    "RolloutReport",
+    "ROLLOUT_POLICIES",
+    "make_rollout_policy",
+]
+
+
+@dataclass(frozen=True)
+class RolloutPlan:
+    """Concrete schedule produced by a policy for one fleet.
+
+    ``stages`` lists the device ids *newly* deployed at each stage (no
+    repeats); ``cohorts`` labels every device — including ones this plan
+    never deploys to (e.g. the control arm).
+    """
+
+    stages: List[List[int]]
+    cohorts: Dict[int, str]
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+
+class RolloutPolicy:
+    """Strategy for staging a package across a fleet."""
+
+    #: Registry key of the policy.
+    name: str = "abstract"
+    #: Whether :meth:`user_cohort` confines users to their cohort's devices.
+    routes_users: bool = False
+
+    def plan(self, device_ids: Sequence[int], rng) -> RolloutPlan:
+        raise NotImplementedError
+
+    def user_cohort(self, user_id: int) -> Optional[str]:
+        """Cohort a user's requests must stay inside (``None`` = any)."""
+        return None
+
+    def describe(self) -> str:
+        return self.name
+
+
+class AllAtOnceRollout(RolloutPolicy):
+    """Deploy to every device in one stage — the pre-rollout behaviour."""
+
+    name = "all-at-once"
+
+    def plan(self, device_ids: Sequence[int], rng) -> RolloutPlan:
+        ids = [int(d) for d in device_ids]
+        return RolloutPlan(stages=[ids], cohorts={d: "fleet" for d in ids})
+
+
+class StagedRollout(RolloutPolicy):
+    """Canary fractions: widen the deployment stage by stage.
+
+    ``fractions`` are cumulative shares of the fleet, strictly increasing in
+    ``(0, 1]``; devices beyond the final fraction are labelled
+    ``"held-back"`` and never deployed by this plan.
+    """
+
+    name = "staged"
+
+    def __init__(self, fractions: Sequence[float] = (0.25, 1.0)) -> None:
+        fractions = tuple(float(f) for f in fractions)
+        if not fractions:
+            raise ConfigurationError("staged rollout needs at least one fraction")
+        previous = 0.0
+        for fraction in fractions:
+            if not previous < fraction <= 1.0:
+                raise ConfigurationError(
+                    f"fractions must be strictly increasing in (0, 1], got {fractions}"
+                )
+            previous = fraction
+        self.fractions = fractions
+
+    def plan(self, device_ids: Sequence[int], rng) -> RolloutPlan:
+        ids = [int(d) for d in device_ids]
+        stages: List[List[int]] = []
+        cohorts: Dict[int, str] = {}
+        already = 0
+        for stage_index, fraction in enumerate(self.fractions):
+            upto = max(math.ceil(fraction * len(ids)), already)
+            stage = ids[already:upto]
+            stages.append(stage)
+            for device_id in stage:
+                cohorts[device_id] = f"stage-{stage_index}"
+            already = upto
+        for device_id in ids[already:]:
+            cohorts[device_id] = "held-back"
+        return RolloutPlan(stages=stages, cohorts=cohorts)
+
+
+class ABRollout(RolloutPolicy):
+    """A/B test: a treatment arm gets the package, control keeps running.
+
+    Device arms are drawn (seeded) at plan time; *user* arms come from a
+    salted hash, so each user deterministically lands in ``"treatment"`` or
+    ``"control"`` and the serving client keeps their requests inside that
+    arm's devices.  Use on a fleet that is already serving a baseline
+    package — the control arm is never redeployed by this plan.
+    """
+
+    name = "ab"
+    routes_users = True
+
+    def __init__(self, treatment_fraction: float = 0.5) -> None:
+        if not 0.0 < treatment_fraction < 1.0:
+            raise ConfigurationError(
+                f"treatment_fraction must be in (0, 1), got {treatment_fraction}"
+            )
+        self.treatment_fraction = float(treatment_fraction)
+        self._salt: Optional[np.uint64] = None
+
+    def plan(self, device_ids: Sequence[int], rng) -> RolloutPlan:
+        ids = [int(d) for d in device_ids]
+        if len(ids) < 2:
+            raise ConfigurationError("an A/B rollout needs at least two devices")
+        n_treatment = min(
+            max(math.ceil(self.treatment_fraction * len(ids)), 1), len(ids) - 1
+        )
+        order = [ids[i] for i in rng.permutation(len(ids))]
+        treatment = sorted(order[:n_treatment])
+        cohorts = {
+            device_id: ("treatment" if device_id in set(treatment) else "control")
+            for device_id in ids
+        }
+        self._salt = np.uint64(rng.integers(0, 2**63 - 1, dtype=np.int64))
+        return RolloutPlan(stages=[treatment], cohorts=cohorts)
+
+    def user_cohort(self, user_id: int) -> str:
+        if self._salt is None:
+            raise ServingError("ABRollout.user_cohort called before plan()")
+        hashed = int(splitmix64(np.asarray([user_id]), self._salt)[0])
+        share = (hashed % 2**53) / 2**53
+        return "treatment" if share < self.treatment_fraction else "control"
+
+
+@dataclass
+class ActiveRollout:
+    """A rollout in progress on a coordinator."""
+
+    policy: RolloutPolicy
+    plan: RolloutPlan
+    package: object
+    next_stage: int = 1
+
+    @property
+    def complete(self) -> bool:
+        return self.next_stage >= self.plan.n_stages
+
+    @property
+    def routes_users(self) -> bool:
+        return self.policy.routes_users
+
+
+# ---------------------------------------------------------------------- #
+@dataclass
+class CohortReport:
+    """One cohort's share of a rollout: devices, accuracy, latency."""
+
+    cohort: str
+    device_ids: List[int]
+    n_deployed: int
+    accuracy: Optional[float] = None
+    requests: int = 0
+    mean_latency_seconds: float = 0.0
+    p99_latency_seconds: float = 0.0
+
+
+@dataclass
+class RolloutReport:
+    """Per-cohort comparison across a (possibly still running) rollout."""
+
+    policy: str
+    per_cohort: Dict[str, CohortReport] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        lines = [
+            f"Rollout report ({self.policy})",
+            f"{'cohort':>12}{'devices':>9}{'deployed':>10}{'accuracy':>10}"
+            f"{'requests':>10}{'mean ms':>9}{'p99 ms':>9}",
+        ]
+        for cohort in sorted(self.per_cohort):
+            row = self.per_cohort[cohort]
+            accuracy = f"{row.accuracy:.4f}" if row.accuracy is not None else "-"
+            lines.append(
+                f"{cohort:>12}{len(row.device_ids):>9}{row.n_deployed:>10}"
+                f"{accuracy:>10}{row.requests:>10}"
+                f"{row.mean_latency_seconds * 1e3:>9.2f}"
+                f"{row.p99_latency_seconds * 1e3:>9.2f}"
+            )
+        return "\n".join(lines)
+
+
+#: CLI/config name → rollout policy class.
+ROLLOUT_POLICIES: Dict[str, Type[RolloutPolicy]] = {
+    AllAtOnceRollout.name: AllAtOnceRollout,
+    StagedRollout.name: StagedRollout,
+    ABRollout.name: ABRollout,
+}
+
+
+def make_rollout_policy(policy: Union[str, RolloutPolicy]) -> RolloutPolicy:
+    """Resolve a rollout policy from a name or an instance."""
+    if isinstance(policy, RolloutPolicy):
+        return policy
+    try:
+        return ROLLOUT_POLICIES[policy]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown rollout policy {policy!r}; "
+            f"expected one of {sorted(ROLLOUT_POLICIES)}"
+        ) from None

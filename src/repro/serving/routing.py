@@ -1,0 +1,191 @@
+"""Pluggable routing policies for the event-loop serving scheduler.
+
+A :class:`RoutingPolicy` decides which device lane each request lands on.
+Three implementations ship with the library:
+
+* :class:`HashRouting` (``"hash"``) — the fleet's historical behaviour: a
+  salted splitmix64 hash of the user id, so a user's data always lands on
+  the same device (the MAGNETO privacy model requires per-user stickiness);
+* :class:`LeastLoadedRouting` (``"least-loaded"``) — each request goes to
+  the lane with the smallest current load estimate, trading per-user
+  stickiness for tail latency under skewed (Zipf) populations;
+* :class:`PowerOfTwoRouting` (``"p2c"``) — two independent hash candidates
+  per user, the less-loaded one wins: near-least-loaded balance while each
+  user only ever touches two devices.
+
+Load is the scheduler's estimate ``queued_requests + backlog_seconds x
+observed_service_rate`` (see ``EventLoopScheduler.lane_loads``), so policies
+stay correct both when a whole stream is submitted before draining and when
+the caller drains tick by tick.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from repro.exceptions import RoutingError
+from repro.utils.hashing import splitmix64
+
+__all__ = [
+    "RoutingPolicy",
+    "HashRouting",
+    "LeastLoadedRouting",
+    "PowerOfTwoRouting",
+    "ROUTING_POLICIES",
+    "make_routing_policy",
+    "splitmix64",
+]
+
+
+def _draw_salt(rng) -> np.uint64:
+    return np.uint64(rng.integers(0, 2**63 - 1, dtype=np.int64))
+
+
+class RoutingPolicy:
+    """Strategy deciding the device lane of each submitted request.
+
+    Subclasses implement :meth:`assign_batch`; :meth:`bind` is called once by
+    the scheduler with the lane count and the routing seed before any
+    assignment happens.
+    """
+
+    #: Registry key and CLI name of the policy.
+    name: str = "abstract"
+
+    def bind(self, n_lanes: int, rng) -> None:
+        self._n_lanes = int(n_lanes)
+
+    def assign_batch(
+        self,
+        requests: Sequence,
+        user_ids: np.ndarray,
+        scheduler,
+        lanes: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Lane index for every request (``lanes`` restricts the candidates).
+
+        ``lanes``, when given, is the subset of lane positions this batch may
+        use — the hook rollout cohorts use to confine users to their arm.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class HashRouting(RoutingPolicy):
+    """Seeded user-id hash sharding — sticky, stateless, fully vectorised.
+
+    When routing is restricted to a lane subset (mid-rollout, or within an
+    A/B cohort), each user's *full-fleet* placement is still preferred:
+    only users whose preferred lane is outside the subset are remapped
+    (deterministically) within it.  Placement is therefore stable across a
+    staged rollout's growth and identical to plain hash sharding once every
+    lane is available again.
+    """
+
+    name = "hash"
+
+    def __init__(self, *, salt: Optional[np.uint64] = None) -> None:
+        self._fixed_salt = salt
+
+    def bind(self, n_lanes: int, rng) -> None:
+        super().bind(n_lanes, rng)
+        self._salt = self._fixed_salt if self._fixed_salt is not None else _draw_salt(rng)
+
+    def assign_batch(self, requests, user_ids, scheduler, lanes=None):
+        hashed = splitmix64(user_ids, self._salt)
+        preferred = (hashed % np.uint64(self._n_lanes)).astype(np.int64)
+        if lanes is None:
+            return preferred
+        lanes = np.asarray(lanes, dtype=np.int64)
+        fallback = lanes[(hashed % np.uint64(lanes.size)).astype(np.int64)]
+        return np.where(np.isin(preferred, lanes), preferred, fallback)
+
+
+class LeastLoadedRouting(RoutingPolicy):
+    """Route every request to the lane with the smallest load estimate.
+
+    The estimate is refreshed per request as the batch is assigned (each
+    assignment adds one request to the chosen lane — loads are counted in
+    requests, matching ``EventLoopScheduler.lane_loads``), so a burst
+    spreads evenly instead of dog-piling the lane that was idle at batch
+    start.  Not sticky per user — a deliberate trade of the MAGNETO
+    per-user placement for tail latency.
+    """
+
+    name = "least-loaded"
+
+    def assign_batch(self, requests, user_ids, scheduler, lanes=None):
+        arrival = requests[0].arrival_seconds if len(requests) else 0.0
+        loads = scheduler.lane_loads(arrival)
+        out = np.empty(len(requests), dtype=np.int64)
+        if lanes is None:
+            for index in range(len(requests)):
+                lane = int(np.argmin(loads))
+                out[index] = lane
+                loads[lane] += 1.0
+        else:
+            lanes = np.asarray(lanes, dtype=np.int64)
+            for index in range(len(requests)):
+                lane = int(lanes[int(np.argmin(loads[lanes]))])
+                out[index] = lane
+                loads[lane] += 1.0
+        return out
+
+
+class PowerOfTwoRouting(RoutingPolicy):
+    """Power-of-two-choices: two hash candidates per user, less loaded wins."""
+
+    name = "p2c"
+
+    def bind(self, n_lanes: int, rng) -> None:
+        super().bind(n_lanes, rng)
+        self._salt_a = _draw_salt(rng)
+        self._salt_b = _draw_salt(rng)
+
+    def assign_batch(self, requests, user_ids, scheduler, lanes=None):
+        pool = np.arange(self._n_lanes) if lanes is None else np.asarray(lanes, np.int64)
+        first = pool[(splitmix64(user_ids, self._salt_a) % np.uint64(pool.size)).astype(np.int64)]
+        second = pool[(splitmix64(user_ids, self._salt_b) % np.uint64(pool.size)).astype(np.int64)]
+        arrival = requests[0].arrival_seconds if len(requests) else 0.0
+        loads = scheduler.lane_loads(arrival)
+        out = np.empty(len(requests), dtype=np.int64)
+        for index in range(len(requests)):
+            a, b = int(first[index]), int(second[index])
+            lane = a if loads[a] <= loads[b] else b
+            out[index] = lane
+            loads[lane] += 1.0
+        return out
+
+
+#: CLI/config name → policy class.
+ROUTING_POLICIES: Dict[str, Type[RoutingPolicy]] = {
+    HashRouting.name: HashRouting,
+    LeastLoadedRouting.name: LeastLoadedRouting,
+    PowerOfTwoRouting.name: PowerOfTwoRouting,
+}
+
+
+def make_routing_policy(
+    policy: Union[str, RoutingPolicy, None],
+) -> RoutingPolicy:
+    """Resolve a policy instance from a name, an instance or ``None``.
+
+    ``None`` means the default (:class:`HashRouting` — the fleet's historical
+    behaviour).  Unknown names raise a typed
+    :class:`~repro.exceptions.RoutingError`.
+    """
+    if policy is None:
+        return HashRouting()
+    if isinstance(policy, RoutingPolicy):
+        return policy
+    try:
+        return ROUTING_POLICIES[policy]()
+    except KeyError:
+        raise RoutingError(
+            f"unknown routing policy {policy!r}; "
+            f"expected one of {sorted(ROUTING_POLICIES)}"
+        ) from None

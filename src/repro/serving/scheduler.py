@@ -1,0 +1,542 @@
+"""Event-loop request scheduler over the simulated ``DeviceStats`` clock.
+
+This replaces the legacy :class:`~repro.fleet.router.Router`'s synchronous
+per-tick drain: instead of routing and executing one tick at a time, requests
+are *submitted* (each immediately receives a
+:class:`~repro.serving.protocol.PendingResult` future) and a heap-ordered
+event loop later drains the per-device queues in simulated-clock order.
+
+Timing follows the fleet's established model: each per-device batch is timed
+with the wall clock, converted to device-seconds through the profile's
+``relative_compute``, and devices drain *in parallel* in simulated time.  The
+scheduler reuses the fleet's :class:`~repro.fleet.router.DeviceStats` /
+:class:`~repro.fleet.router.RoutingReport` types, and additionally records
+per-request latencies so reports can answer percentile (p99) questions.
+
+Design notes for the hot path (the per-request overhead is gated against the
+legacy router in ``benchmarks/bench_serving.py``):
+
+* assignment is vectorised per submitted batch (one hash over all user ids
+  for the default policy), and requests are grouped into per-lane batches
+  with numpy, not per-request branching;
+* requests sharing a device and an arrival time coalesce into one queue
+  entry served by a single engine call — the same batching the legacy
+  router performed per tick;
+* completion state lives on the *batch*: futures are three-slot views
+  ``(request, batch, index)``, so finishing a batch is O(1) in the number
+  of requests, and per-request class-id slices materialise lazily on
+  ``result()``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import DeadlineExceededError, RoutingError, ServingError
+from repro.fleet.router import DeviceStats, RoutingReport
+from repro.serving.protocol import PendingResult, PredictResponse
+from repro.serving.routing import RoutingPolicy, make_routing_policy
+from repro.utils.rng import RandomState, resolve_rng
+
+__all__ = ["EventLoopScheduler"]
+
+#: Most-recent per-request latencies kept per device for percentile views.
+#: Bounds long-lived clients (the legacy path kept no per-request history);
+#: a few MB per device at the cap.  Trimming waits until 2x the cap so the
+#: compaction cost amortises to O(1) per request.
+LATENCY_HISTORY_CAP = 100_000
+
+
+class _Batch:
+    """One queue entry: co-arriving requests bound for the same lane.
+
+    Owns the shared completion state — the engine output matrix, the device
+    that answered and the simulated completion time — which the per-request
+    futures view through their index.
+    """
+
+    __slots__ = (
+        "requests", "futures", "arrival", "scheduler",
+        "outputs", "device_id", "completion", "finished",
+        "error", "errors", "watchers", "_offsets",
+    )
+
+    def __init__(self, arrival: float, scheduler: "EventLoopScheduler") -> None:
+        self.requests: List = []
+        self.futures: List["_BatchFuture"] = []
+        self.arrival = arrival
+        self.scheduler = scheduler
+        self.outputs: Optional[np.ndarray] = None
+        self.device_id = -1
+        self.completion = 0.0
+        self.finished = False
+        self.error: Optional[BaseException] = None   # batch-wide failure
+        self.errors: Optional[Dict[int, BaseException]] = None  # per request
+        self.watchers: Optional[list] = None  # (future, callback) pairs
+        self._offsets: Optional[np.ndarray] = None
+
+    def offsets(self) -> np.ndarray:
+        """Lazy cumulative window offsets for per-request output slices."""
+        if self._offsets is None:
+            counts = [r.features.shape[0] for r in self.requests]
+            self._offsets = np.concatenate(([0], np.cumsum(counts, dtype=np.int64)))
+        return self._offsets
+
+    def finish(
+        self, outputs: Optional[np.ndarray], device_id: int, completion: float,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        if self.finished:
+            raise ServingError("request batch completed twice (double-answered)")
+        self.outputs = outputs
+        self.device_id = device_id
+        self.completion = completion
+        self.error = error
+        self.finished = True
+        if self.watchers:
+            for future, callback in self.watchers:
+                callback(future)
+            self.watchers = None
+
+    def fail_future(self, future: "_BatchFuture", error: BaseException) -> None:
+        """Record a per-request failure (deadline expiry) before execution.
+
+        The future is parked on a unique *negative* index so surviving
+        futures can be re-indexed onto the compacted batch without their new
+        indices colliding with recorded error slots.
+        """
+        if self.errors is None:
+            self.errors = {}
+        future._index = -1 - len(self.errors)
+        self.errors[future._index] = error
+        if self.watchers:
+            still_waiting = []
+            for watcher, callback in self.watchers:
+                if watcher is future:
+                    callback(watcher)
+                else:
+                    still_waiting.append((watcher, callback))
+            self.watchers = still_waiting or None
+
+
+def _queue_batch(queue: Deque[_Batch], arrival: float, scheduler) -> _Batch:
+    """The batch to enqueue into, keeping the lane ordered by arrival.
+
+    Common case (non-decreasing arrivals, as every open-loop generator
+    emits): coalesce with or append after the tail — one comparison.  An
+    out-of-order submission walks back from the tail so earlier arrivals
+    are still served first and never head-of-line blocked (or spuriously
+    deadline-expired) behind later ones.
+    """
+    if not queue or queue[-1].arrival <= arrival:
+        if queue and queue[-1].arrival == arrival:
+            return queue[-1]
+        batch = _Batch(arrival, scheduler)
+        queue.append(batch)
+        return batch
+    index = len(queue) - 1
+    while index > 0 and queue[index - 1].arrival > arrival:
+        index -= 1
+    if index > 0 and queue[index - 1].arrival == arrival:
+        return queue[index - 1]
+    batch = _Batch(arrival, scheduler)
+    queue.insert(index, batch)
+    return batch
+
+
+class _BatchFuture(PendingResult):
+    """Three-slot future viewing its batch's shared completion state."""
+
+    __slots__ = ("_batch", "_index")
+
+    def __init__(self, request, batch: _Batch, index: int) -> None:
+        self.request = request
+        self._batch = batch
+        self._index = index
+
+    # -- PendingResult interface ---------------------------------------- #
+    def done(self) -> bool:
+        batch = self._batch
+        return batch.finished or (
+            batch.errors is not None and self._index in batch.errors
+        )
+
+    def add_done_callback(self, callback) -> None:
+        if self.done():
+            callback(self)
+            return
+        batch = self._batch
+        if batch.watchers is None:
+            batch.watchers = []
+        batch.watchers.append((self, callback))
+
+    def exception(self) -> Optional[BaseException]:
+        self._ensure_done()
+        return self._my_error()
+
+    def result(self) -> PredictResponse:
+        self._ensure_done()
+        error = self._my_error()
+        if error is not None:
+            raise error
+        batch = self._batch
+        offsets = batch.offsets()
+        class_ids = batch.outputs[offsets[self._index]:offsets[self._index + 1]]
+        return PredictResponse(
+            self.request, class_ids, batch.device_id, batch.completion
+        )
+
+    # ------------------------------------------------------------------ #
+    def _my_error(self) -> Optional[BaseException]:
+        batch = self._batch
+        if batch.errors is not None:
+            error = batch.errors.get(self._index)
+            if error is not None:
+                return error
+        return batch.error
+
+    def _ensure_done(self) -> None:
+        if not self.done():
+            self._batch.scheduler.drain()
+        if not self.done():
+            raise ServingError(
+                "request is still pending; drain() the serving client "
+                "(or submit through a client, which drains on result())"
+            )
+
+
+class EventLoopScheduler:
+    """Future-completing scheduler over a live list of fleet devices.
+
+    Parameters
+    ----------
+    devices:
+        Device-like targets exposing ``infer(windows)``, ``device_id`` and
+        ``profile`` (``FleetDevice`` or the client's local adapters).  When
+        given a list — e.g. ``FleetCoordinator.devices`` — the scheduler
+        keeps a *live view*, so ``replace_device`` takes effect for requests
+        already queued; the device *count* must stay fixed.
+    policy:
+        A :class:`~repro.serving.routing.RoutingPolicy`, a policy name, or
+        ``None`` for the default seeded hash.
+    seed:
+        Seeds the routing policy (hash salts); same seed, same assignment.
+    """
+
+    def __init__(
+        self,
+        devices: Sequence,
+        policy: Optional[RoutingPolicy] = None,
+        *,
+        seed: RandomState = None,
+    ) -> None:
+        if not devices:
+            raise RoutingError("the scheduler needs at least one device")
+        self._devices = devices if isinstance(devices, list) else list(devices)
+        self._n_lanes = len(self._devices)
+        self.policy = make_routing_policy(policy)
+        self.policy.bind(self._n_lanes, resolve_rng(seed))
+        self._queues: List[Deque[_Batch]] = [deque() for _ in range(self._n_lanes)]
+        self._pending_counts = np.zeros(self._n_lanes, dtype=np.float64)
+        self._available_at = np.zeros(self._n_lanes, dtype=np.float64)
+        # Per-lane service history (survives device replacement, unlike the
+        # per-device stats rows) — feeds the balancing policies' rate term.
+        self._lane_served = np.zeros(self._n_lanes, dtype=np.float64)
+        self._lane_busy = np.zeros(self._n_lanes, dtype=np.float64)
+        self._stats: Dict[int, DeviceStats] = {
+            d.device_id: DeviceStats(device_id=d.device_id, profile=d.profile.name)
+            for d in self._devices
+        }
+        self._total_requests = 0
+        self._total_windows = 0
+        self._total_expired = 0
+        self._event_counter = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def devices(self) -> Sequence:
+        """The live device list behind the lanes."""
+        return self._devices
+
+    @property
+    def n_devices(self) -> int:
+        return len(self._devices)
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests submitted but not yet answered."""
+        return sum(len(b.requests) for q in self._queues for b in q)
+
+    def lane_loads(self, now: float) -> np.ndarray:
+        """Per-lane load estimate (in requests) for the balancing policies.
+
+        Queued-but-unserved requests, plus each lane's simulated backlog
+        beyond ``now`` converted to requests through the lane's observed
+        service rate (requests per simulated busy second; kept per *lane*,
+        so a device replacement does not reset it).  Before any service
+        history exists the backlog term is zero and queued requests alone
+        drive the decision.
+        """
+        backlog = np.maximum(self._available_at - now, 0.0)
+        if backlog.any():
+            rates = np.divide(
+                self._lane_served,
+                self._lane_busy,
+                out=np.zeros(self._n_lanes),
+                where=self._lane_busy > 0,
+            )
+            return self._pending_counts + backlog * rates
+        return self._pending_counts.copy()
+
+    # ------------------------------------------------------------------ #
+    def replace_device(self, device_id: int, replacement) -> None:
+        """Swap a (crashed) device; its queued requests go to the replacement.
+
+        In-flight entries live on the lane, not the device object, so nothing
+        is dropped or double-answered: the replacement simply serves the
+        lane's queue from its next event on.
+        """
+        for position, device in enumerate(self._devices):
+            if device.device_id == device_id:
+                self._devices[position] = replacement
+                return
+        raise RoutingError(f"no device with id {device_id} behind this scheduler")
+
+    # ------------------------------------------------------------------ #
+    def submit(self, request) -> PendingResult:
+        """Queue one request; returns its future."""
+        return self.submit_many([request])[0]
+
+    def submit_many(self, requests: Sequence) -> List[PendingResult]:
+        """Queue a batch of requests (vectorised routing), one future each.
+
+        Requests assigned to the same device with the same arrival time are
+        coalesced into one engine call at drain time, which is what keeps the
+        per-request overhead at the legacy router's level.
+        """
+        if not requests:
+            return []
+        if len(self._devices) != self._n_lanes:
+            raise RoutingError(
+                f"the fleet changed size ({self._n_lanes} -> {len(self._devices)}); "
+                "build a new scheduler — the device count is fixed at construction"
+            )
+        if self._n_lanes == 1:
+            # Routing is a no-op with a single lane; skip the policy and the
+            # per-request id extraction entirely (the serve(learner) /
+            # serve(platform) hot path).
+            return self._enqueue_single_lane(requests)
+        user_ids = np.fromiter(
+            (r.user_id for r in requests), dtype=np.int64, count=len(requests)
+        )
+        assignment = self.policy.assign_batch(requests, user_ids, self)
+        return self._enqueue(requests, assignment)
+
+    def _enqueue_single_lane(self, requests: Sequence) -> List[PendingResult]:
+        if not isinstance(requests, list):
+            requests = list(requests)
+        arrivals = np.fromiter(
+            (r.arrival_seconds for r in requests),
+            dtype=np.float64,
+            count=len(requests),
+        )
+        boundaries = np.flatnonzero(np.diff(arrivals)) + 1
+        queue = self._queues[0]
+        futures: List[PendingResult] = []
+        start = 0
+        for end in [*boundaries.tolist(), len(requests)]:
+            segment = requests[start:end]
+            arrival = float(arrivals[start])
+            batch = _queue_batch(queue, arrival, self)
+            base = len(batch.requests)
+            segment_futures = [
+                _BatchFuture(request, batch, base + offset)
+                for offset, request in enumerate(segment)
+            ]
+            batch.requests.extend(segment)
+            batch.futures.extend(segment_futures)
+            futures.extend(segment_futures)
+            start = end
+        self._pending_counts[0] += len(requests)
+        self._total_requests += len(requests)
+        return futures
+
+    def submit_assigned(self, requests: Sequence, assignment: np.ndarray) -> List[PendingResult]:
+        """Queue requests with a precomputed lane assignment (cohort routing)."""
+        if not requests:
+            return []
+        if len(self._devices) != self._n_lanes:
+            raise RoutingError(
+                f"the fleet changed size ({self._n_lanes} -> {len(self._devices)}); "
+                "build a new scheduler — the device count is fixed at construction"
+            )
+        return self._enqueue(requests, np.asarray(assignment, dtype=np.int64))
+
+    def _enqueue(self, requests: Sequence, assignment: np.ndarray) -> List[PendingResult]:
+        futures: List[Optional[PendingResult]] = [None] * len(requests)
+        arrivals = np.fromiter(
+            (r.arrival_seconds for r in requests),
+            dtype=np.float64,
+            count=len(requests),
+        )
+        for lane in range(self._n_lanes):
+            lane_indices = np.flatnonzero(assignment == lane)
+            if lane_indices.size == 0:
+                continue
+            # Split the lane's share into runs of equal arrival time (one
+            # run per tick in the common open-loop case).
+            lane_arrivals = arrivals[lane_indices]
+            boundaries = np.flatnonzero(np.diff(lane_arrivals)) + 1
+            queue = self._queues[lane]
+            for segment in np.split(lane_indices, boundaries):
+                arrival = float(arrivals[segment[0]])
+                batch = _queue_batch(queue, arrival, self)
+                base = len(batch.requests)
+                segment_requests = [requests[i] for i in segment]
+                segment_futures = [
+                    _BatchFuture(request, batch, base + offset)
+                    for offset, request in enumerate(segment_requests)
+                ]
+                batch.requests.extend(segment_requests)
+                batch.futures.extend(segment_futures)
+                for index, future in zip(segment.tolist(), segment_futures):
+                    futures[index] = future
+            self._pending_counts[lane] += lane_indices.size
+        self._total_requests += len(requests)
+        return futures  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    def drain(self) -> int:
+        """Run the event loop until every queued request is resolved.
+
+        Lanes are processed in simulated-clock order: the heap always pops
+        the lane whose next batch starts earliest (``max(available_at, batch
+        arrival)``), mirroring devices draining their queues in parallel.
+        Returns the number of requests resolved — answered *or* expired
+        past their deadline (``report().total_expired`` separates the two).
+        """
+        heap = []
+        for position, queue in enumerate(self._queues):
+            if queue:
+                self._event_counter += 1
+                begin = max(self._available_at[position], queue[0].arrival)
+                heap.append((begin, self._event_counter, position))
+        heapq.heapify(heap)
+        answered = 0
+        while heap:
+            _, _, position = heapq.heappop(heap)
+            answered += self._execute_next(position)
+            queue = self._queues[position]
+            if queue:
+                self._event_counter += 1
+                begin = max(self._available_at[position], queue[0].arrival)
+                heapq.heappush(heap, (begin, self._event_counter, position))
+        return answered
+
+    def _execute_next(self, position: int) -> int:
+        """Serve one queued batch on the device currently holding the lane."""
+        batch = self._queues[position].popleft()
+        n_answered = len(batch.requests)
+        self._pending_counts[position] -= n_answered
+        device = self._devices[position]
+        # setdefault: a replacement device (crash/restore) may carry a new
+        # id; it inherits the lane but gets its own stats row.
+        stats = self._stats.setdefault(
+            device.device_id,
+            DeviceStats(device_id=device.device_id, profile=device.profile.name),
+        )
+        arrival = batch.arrival
+        begin = max(self._available_at[position], arrival)
+        requests = batch.requests
+        if any(
+            getattr(request, "deadline_seconds", None) is not None
+            for request in requests
+        ):
+            requests = self._expire(batch, begin)
+            if not requests:
+                return n_answered
+        windows = (
+            requests[0].features
+            if len(requests) == 1
+            else np.concatenate([r.features for r in requests], axis=0)
+        )
+
+        start = time.perf_counter()
+        try:
+            outputs = device.infer(windows)
+        except Exception as error:  # typed errors travel through the futures
+            batch.finish(None, device.device_id, begin, error=error)
+            return n_answered
+        wall = time.perf_counter() - start
+        service = wall / device.profile.relative_compute
+        completion = begin + service
+        self._available_at[position] = completion
+        stats.available_at = completion  # feeds RoutingReport.makespan_seconds
+
+        n_windows = int(windows.shape[0])
+        stats.requests += len(requests)
+        stats.windows += n_windows
+        stats.batches += 1
+        stats.busy_seconds += service
+        stats.wall_seconds += wall
+        stats.max_queue_depth = max(
+            stats.max_queue_depth,
+            len(requests) + (1 if begin > arrival else 0),
+        )
+        self._lane_served[position] += len(requests)
+        self._lane_busy[position] += service
+        latency = completion - arrival
+        stats.total_latency_seconds += latency * len(requests)
+        latencies = stats.latencies
+        latencies.extend([latency] * len(requests))
+        if len(latencies) > 2 * LATENCY_HISTORY_CAP:
+            del latencies[: len(latencies) - LATENCY_HISTORY_CAP]
+        self._total_windows += n_windows
+        batch.finish(outputs, device.device_id, completion)
+        return n_answered
+
+    def _expire(self, batch: _Batch, begin: float) -> List:
+        """Fail queued requests whose deadline passed before service began.
+
+        Kept requests are re-indexed so the batch's shared output offsets
+        stay aligned with the surviving futures.
+        """
+        kept_requests, kept_futures = [], []
+        for request, future in zip(batch.requests, batch.futures):
+            deadline = getattr(request, "deadline_seconds", None)
+            if deadline is not None and begin > deadline:
+                batch.fail_future(
+                    future,
+                    DeadlineExceededError(
+                        f"user {request.user_id}: service would start at "
+                        f"{begin:.6f}s, past the deadline {deadline:.6f}s"
+                    ),
+                )
+            else:
+                kept_requests.append(request)
+                kept_futures.append(future)
+        for new_index, future in enumerate(kept_futures):
+            future._index = new_index
+        n_expired = len(batch.requests) - len(kept_requests)
+        # Expired requests were never served: move them out of the served
+        # totals so mean latency and per-device rows stay consistent.
+        self._total_requests -= n_expired
+        self._total_expired += n_expired
+        batch.requests = kept_requests
+        batch.futures = kept_futures
+        return kept_requests
+
+    # ------------------------------------------------------------------ #
+    def report(self) -> RoutingReport:
+        """Serving statistics so far (stats keep accumulating afterwards)."""
+        return RoutingReport(
+            per_device=dict(self._stats),
+            total_requests=self._total_requests,
+            total_windows=self._total_windows,
+            total_expired=self._total_expired,
+        )

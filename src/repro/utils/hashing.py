@@ -1,0 +1,35 @@
+"""Shared integer hashing used for user → device placement.
+
+Both the legacy :class:`~repro.fleet.router.Router` sharding and the serving
+layer's :class:`~repro.serving.routing.HashRouting` policy must produce
+*bit-identical* placements from the same salt (the router's deprecated
+``submit`` shim and several determinism tests rely on it), so the salted
+splitmix64 finaliser lives here, in one cycle-free module, instead of being
+duplicated in each layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["splitmix64"]
+
+# 64-bit mixing constants (splitmix64 finaliser).
+_MIX1 = np.uint64(0xFF51AFD7ED558CCD)
+_MIX2 = np.uint64(0xC4CEB9FE1A85EC53)
+_SHIFT = np.uint64(33)
+
+
+def splitmix64(values, salt: np.uint64) -> np.ndarray:
+    """Vectorised salted splitmix64 finaliser over an integer array.
+
+    Uniform over 64 bits, stable per value, and reproducible from the salt —
+    the properties user-id sharding needs.
+    """
+    v = np.atleast_1d(np.asarray(values)).astype(np.uint64) + salt
+    v ^= v >> _SHIFT
+    v *= _MIX1
+    v ^= v >> _SHIFT
+    v *= _MIX2
+    v ^= v >> _SHIFT
+    return v
