@@ -1,13 +1,16 @@
 """Tour of the unified serving API: protocol, futures, routing, rollout.
 
-One pre-trained PILOTE learner is served four ways through the *same*
+One pre-trained PILOTE learner is served five ways through the *same*
 request/response protocol (:mod:`repro.serving`):
 
 1. bare learner — ``serve(learner).predict(...)`` one-liner;
 2. futures with deadlines and metadata on the simulated clock;
 3. an 8-device fleet under Zipf-skewed traffic, comparing the ``hash``
    (sticky per user) and ``least-loaded`` routing policies on p99 latency;
-4. a staged rollout followed by an A/B rollout with per-cohort reporting.
+4. a staged rollout followed by an A/B rollout with per-cohort reporting;
+5. deadline-aware scheduling — the same overloaded deadline workload under
+   ``fifo`` vs ``edf`` queue order, with the served/missed/expired SLO
+   breakdown from the routing report.
 
 Run with::
 
@@ -94,6 +97,28 @@ def main() -> None:
     ab_client.drain()
     print()
     print(ab_fleet.rollout_report(scenario.test, serving=ab_client.report()).to_text())
+
+    # 5. Deadline-aware scheduling: FIFO vs EDF on an overloaded deadline
+    #    workload (1-in-4 requests urgent, the rest relaxed).
+    deadline_workload = WorkloadSpec(
+        pattern="zipf", n_users=300, requests_per_tick=512, n_ticks=8,
+        tick_seconds=1e-4, deadline_seconds=2e-3,
+        deadline_multipliers=(1.0, 50.0, 50.0, 50.0),
+    )
+    print()
+    for scheduling in ("fifo", "edf"):
+        fleet = FleetCoordinator(learner.config, seed=0)
+        fleet.provision(2)
+        fleet.deploy(package)
+        client = serve(fleet, routing="hash", scheduling=scheduling, seed=0)
+        for requests in TrafficGenerator(pool, deadline_workload, seed=11).ticks():
+            client.submit_many(requests)
+        client.drain()
+        breakdown = client.report().deadline_breakdown()
+        print(f"scheduling={scheduling:<5} deadline SLO: "
+              f"{breakdown['served']} served in deadline, "
+              f"{breakdown['missed']} missed, {breakdown['expired']} expired "
+              f"(attainment {client.report().deadline_attainment:.3f})")
 
 
 if __name__ == "__main__":

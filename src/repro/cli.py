@@ -9,8 +9,11 @@ of the paper's tables/figures and prints it::
 
 Beyond the paper, ``pilote fleet-sim`` runs the multi-device fleet serving
 simulation (:mod:`repro.fleet.simulation`); ``--devices`` overrides the fleet
-size of the default scenario and ``--routing {hash,least-loaded,p2c}`` picks
-the serving client's routing policy.  ``pilote serve`` answers one seeded
+size of the default scenario, ``--routing {hash,least-loaded,p2c}`` picks
+the serving client's routing policy, ``--scheduling {fifo,edf}`` its queue
+order (arrival order vs earliest-deadline-first) and ``--deadline-ms``
+attaches seeded per-request deadlines to the generated traffic (reported as
+a served/missed/expired SLO breakdown).  ``pilote serve`` answers one seeded
 workload through all three serving layers (bare learner, MAGNETO platform,
 fleet) over the unified :mod:`repro.serving` API.
 
@@ -36,7 +39,7 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentSettings
 from repro.fleet import simulation as fleet_simulation
-from repro.serving import ROUTING_POLICIES
+from repro.serving import ROUTING_POLICIES, SCHEDULING_ORDERS
 from repro.serving import simulation as serving_simulation
 from repro.utils.logging import enable_console_logging
 
@@ -90,6 +93,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="serving routing policy for fleet-sim/serve (default: scenario's hash)",
     )
     parser.add_argument(
+        "--scheduling",
+        choices=sorted(SCHEDULING_ORDERS),
+        default=None,
+        help="serving queue order for fleet-sim/serve: fifo (arrival order) "
+        "or edf (earliest deadline first; default: fifo)",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        dest="deadline_ms",
+        type=float,
+        default=None,
+        help="mean per-request deadline for fleet-sim traffic in simulated "
+        "milliseconds (default: no deadlines)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="enable progress logging to stderr"
     )
     return parser
@@ -103,9 +121,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         enable_console_logging()
     settings = _SCALES[arguments.scale](seed=arguments.seed)
     if arguments.experiment in _SERVING_EXPERIMENTS:
-        result = _EXPERIMENTS[arguments.experiment](
-            settings, n_devices=arguments.devices, routing=arguments.routing
+        serving_kwargs = dict(
+            n_devices=arguments.devices,
+            routing=arguments.routing,
+            scheduling=arguments.scheduling,
         )
+        if arguments.experiment == "fleet-sim":
+            serving_kwargs["deadline_ms"] = arguments.deadline_ms
+        elif arguments.deadline_ms is not None:
+            parser.error(
+                "--deadline-ms only applies to fleet-sim (the serve layer "
+                "comparison runs a deadline-less stream)"
+            )
+        result = _EXPERIMENTS[arguments.experiment](settings, **serving_kwargs)
     else:
         result = _EXPERIMENTS[arguments.experiment](settings)
     print(result.to_text())

@@ -51,6 +51,12 @@ class DeviceStats:
     total_latency_seconds: float = 0.0
     max_queue_depth: int = 0
     available_at: float = 0.0        # simulated time the device frees up
+    #: Served requests that carried a deadline, and how many of those
+    #: completed past it (service began in time but finished late).  Only
+    #: the event-loop scheduler populates these; requests expired *before*
+    #: service are counted fleet-wide in ``RoutingReport.total_expired``.
+    deadline_requests: int = 0
+    deadline_misses: int = 0
     #: Per-request simulated latencies; populated by the event-loop scheduler
     #: (the legacy tick drain only tracks the aggregate) for percentile views.
     #: Bounded to the scheduler's most recent LATENCY_HISTORY_CAP requests.
@@ -74,6 +80,7 @@ class DeviceStats:
             "throughput": self.throughput,
             "mean_latency_seconds": self.mean_latency_seconds,
             "max_queue_depth": float(self.max_queue_depth),
+            "deadline_misses": float(self.deadline_misses),
         }
 
 
@@ -82,14 +89,22 @@ class RoutingReport:
     """Fleet-level view over the per-device stats after a routed stream.
 
     ``total_requests`` counts *served* requests (it matches the sum of the
-    per-device rows); requests expired past their deadline before service
-    are reported separately in ``total_expired``.
+    per-device rows); requests that were never served are broken out
+    separately: ``total_expired`` holds deadline expiries (including the
+    ``total_rejected`` subset failed by admission control at submit time)
+    and ``total_failed`` holds requests lost to a raising device.  Served
+    requests that carried a deadline but completed past it are counted in
+    the per-device ``deadline_misses`` rows (``total_deadline_misses``
+    here); :meth:`deadline_attainment` and :meth:`slo_attainment` summarise
+    the served / missed / expired breakdown.
     """
 
     per_device: Dict[int, DeviceStats]
     total_requests: int = 0
     total_windows: int = 0
     total_expired: int = 0
+    total_rejected: int = 0
+    total_failed: int = 0
 
     @property
     def makespan_seconds(self) -> float:
@@ -133,6 +148,70 @@ class RoutingReport:
     def p99_latency_seconds(self) -> float:
         return self.latency_percentile(99.0)
 
+    # -- deadline / SLO accounting ------------------------------------- #
+    @property
+    def total_deadline_requests(self) -> int:
+        """Served requests that carried a deadline (sum of per-device rows)."""
+        return sum(s.deadline_requests for s in self.per_device.values())
+
+    @property
+    def total_deadline_misses(self) -> int:
+        """Served requests whose completion fell past their deadline."""
+        return sum(s.deadline_misses for s in self.per_device.values())
+
+    def deadline_breakdown(self) -> Dict[str, int]:
+        """Request outcomes relevant to the deadline SLO.
+
+        ``served`` carried a deadline and began *and* completed within it,
+        ``missed`` began in time but completed late, ``expired`` never
+        began (queue expiry plus admission rejections; only
+        deadline-carrying requests can expire).  ``failed`` is the
+        *fleet-wide* count of requests lost to a raising device — with or
+        without a deadline, since a failed batch records no per-request
+        deadline facts; it is reported for completeness and excluded from
+        :attr:`deadline_attainment`.
+        """
+        return {
+            "served": self.total_deadline_requests - self.total_deadline_misses,
+            "missed": self.total_deadline_misses,
+            "expired": self.total_expired,
+            "failed": self.total_failed,
+        }
+
+    @property
+    def deadline_attainment(self) -> float:
+        """Fraction of deadline-carrying requests answered within deadline.
+
+        Counts expired (never-served) requests against attainment; failed
+        requests are an infrastructure loss, reported separately.  ``1.0``
+        when no request carried a deadline.
+        """
+        denominator = self.total_deadline_requests + self.total_expired
+        if denominator == 0:
+            return 1.0
+        return (self.total_deadline_requests - self.total_deadline_misses) / denominator
+
+    def slo_attainment(self, target_seconds: float) -> float:
+        """Fraction of resolved requests answered within ``target_seconds``.
+
+        A latency-target SLO over the per-request latency history (the
+        event-loop scheduler's most recent window per device — see
+        ``repro.serving.scheduler.LATENCY_HISTORY_CAP``); expired and failed
+        requests count against the SLO.  ``1.0`` when nothing was resolved.
+        Note the window: latency samples are bounded per device while the
+        expired/failed counters are all-time, so on runs long enough to trim
+        the history the ratio over-weights expiries; read it per reporting
+        interval (fresh client) for exact long-horizon accounting.
+        """
+        within = 0
+        total = self.total_expired + self.total_failed
+        for stats in self.per_device.values():
+            if stats.latencies:
+                samples = np.asarray(stats.latencies)
+                within += int(np.count_nonzero(samples <= target_seconds))
+                total += samples.size
+        return within / total if total else 1.0
+
     def summary(self) -> Dict[str, float]:
         return {
             "devices": float(len(self.per_device)),
@@ -140,6 +219,9 @@ class RoutingReport:
             "total_windows": float(self.total_windows),
             "makespan_seconds": self.makespan_seconds,
             "aggregate_throughput": self.aggregate_throughput,
+            "total_expired": float(self.total_expired),
+            "total_failed": float(self.total_failed),
+            "deadline_misses": float(self.total_deadline_misses),
         }
 
 
@@ -319,11 +401,15 @@ class Router:
         total_requests = self._total_requests
         total_windows = self._total_windows
         total_expired = 0
+        total_rejected = 0
+        total_failed = 0
         if self._legacy_client is not None:
             shim = self._legacy_client.report()
             total_requests += shim.total_requests
             total_windows += shim.total_windows
             total_expired += shim.total_expired
+            total_rejected += shim.total_rejected
+            total_failed += shim.total_failed
             for device_id, extra in shim.per_device.items():
                 if extra.requests == 0:
                     continue
@@ -336,6 +422,8 @@ class Router:
             total_requests=total_requests,
             total_windows=total_windows,
             total_expired=total_expired,
+            total_rejected=total_rejected,
+            total_failed=total_failed,
         )
 
 
@@ -352,6 +440,8 @@ def _merged_stats(base: DeviceStats, extra: DeviceStats) -> DeviceStats:
         total_latency_seconds=base.total_latency_seconds + extra.total_latency_seconds,
         max_queue_depth=max(base.max_queue_depth, extra.max_queue_depth),
         available_at=max(base.available_at, extra.available_at),
+        deadline_requests=base.deadline_requests + extra.deadline_requests,
+        deadline_misses=base.deadline_misses + extra.deadline_misses,
         latencies=base.latencies + extra.latencies,
     )
 

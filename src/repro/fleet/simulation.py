@@ -49,21 +49,34 @@ class FleetSimulationResult:
     checkpoint_roundtrip_exact: bool
     device_rows: List[Dict[str, object]] = field(default_factory=list)
     routing_policy: str = "hash"
+    scheduling_order: str = "fifo"
+    deadline_ms: Optional[float] = None
 
     def to_text(self) -> str:
         lines = [
             "Fleet simulation: multi-device serving with staggered increments",
             "",
-            f"devices: {self.n_devices}  (routing policy: {self.routing_policy})",
+            f"devices: {self.n_devices}  (routing policy: {self.routing_policy}, "
+            f"scheduling: {self.scheduling_order})",
             f"requests routed: {int(self.routing.total_requests)} "
             f"({int(self.routing.total_windows)} windows)",
             f"aggregate throughput: {self.routing.aggregate_throughput:.0f} windows/s "
             f"(simulated, devices in parallel)",
             f"p99 latency: {self.routing.p99_latency_seconds * 1e3:.2f} ms (simulated)",
+        ]
+        breakdown = self.routing.deadline_breakdown()
+        if self.deadline_ms is not None or breakdown["expired"] or breakdown["missed"]:
+            lines.append(
+                f"deadline SLO: {breakdown['served']} served in deadline, "
+                f"{breakdown['missed']} missed, {breakdown['expired']} expired, "
+                f"{breakdown['failed']} failed "
+                f"(attainment {self.routing.deadline_attainment:.4f})"
+            )
+        lines.extend([
             "",
             f"{'device':>7}{'profile':>14}{'requests':>10}{'throughput':>12}"
             f"{'latency ms':>12}{'queue':>7}{'inc@tick':>9}{'accuracy':>10}",
-        ]
+        ])
         for row in self.device_rows:
             lines.append(
                 f"{row['device_id']:>7}{row['profile']:>14}{row['requests']:>10}"
@@ -91,11 +104,18 @@ def run(
     scenario: FleetScenarioSpec = FLEET_SCENARIO,
     n_devices: Optional[int] = None,
     routing: Optional[str] = None,
+    scheduling: Optional[str] = None,
+    deadline_ms: Optional[float] = None,
 ) -> FleetSimulationResult:
     """Run one fleet simulation at the given experiment scale.
 
     ``routing`` picks the serving client's routing policy (``"hash"``,
     ``"least-loaded"``, ``"p2c"``); the default comes from the scenario.
+    ``scheduling`` picks the queue order (``"fifo"`` or ``"edf"``) and
+    ``deadline_ms`` attaches seeded per-request deadlines to the traffic
+    (mean relative deadline in simulated milliseconds, mixed over
+    urgent/normal/relaxed classes) so the run reports a deadline SLO
+    breakdown.
     """
     settings = settings or ExperimentSettings.default()
     if n_devices is None:
@@ -103,6 +123,9 @@ def run(
     if n_devices <= 0:
         raise ConfigurationError(f"n_devices must be positive, got {n_devices}")
     routing = routing or scenario.routing_policy
+    scheduling = scheduling or "fifo"
+    if deadline_ms is not None and deadline_ms <= 0:
+        raise ConfigurationError(f"deadline_ms must be positive, got {deadline_ms}")
     rng = resolve_rng(settings.seed)
     dataset = make_dataset(settings, rng=rng)
     data_scenario = build_incremental_scenario(
@@ -150,9 +173,12 @@ def run(
         n_users=scenario.n_users,
         requests_per_tick=scenario.requests_per_tick,
         n_ticks=scenario.n_ticks,
+        deadline_seconds=None if deadline_ms is None else deadline_ms / 1e3,
+        # Urgent / normal / relaxed mix, so EDF has classes to discriminate.
+        deadline_multipliers=(0.5, 1.0, 4.0),
     )
     traffic = TrafficGenerator(data_scenario.test, workload, seed=settings.seed)
-    client = serve(fleet, routing=routing, seed=settings.seed)
+    client = serve(fleet, routing=routing, scheduling=scheduling, seed=settings.seed)
     for tick_index, requests in enumerate(traffic.ticks()):
         fleet.run_due_increments(tick_index)
         client.submit_many(requests)
@@ -202,4 +228,6 @@ def run(
         checkpoint_roundtrip_exact=roundtrip_exact,
         device_rows=device_rows,
         routing_policy=client.routing,
+        scheduling_order=client.scheduling,
+        deadline_ms=deadline_ms,
     )

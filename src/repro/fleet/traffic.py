@@ -9,13 +9,17 @@ simulation runs can be replayed exactly.
 
 The generator is *open loop*: it emits what arrives per tick regardless of
 whether the fleet keeps up, which is what exposes queueing behaviour in the
-router's per-device stats.
+router's per-device stats.  Workloads can additionally carry seeded
+per-request deadlines (``WorkloadSpec.deadline_seconds`` /
+``deadline_multipliers`` / ``deadline_fraction``) to drive the serving
+scheduler's deadline machinery — admission control, queue expiry and
+earliest-deadline-first ordering (see :mod:`repro.serving.scheduler`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,15 +43,27 @@ class InferenceRequest:
         ``(n_windows, n_features)`` feature matrix for this request.
     arrival_seconds:
         Simulated arrival time (tick index × tick duration).
+    deadline_seconds:
+        Optional absolute simulated deadline, honoured by the event-loop
+        scheduler exactly like :class:`~repro.serving.PredictRequest`'s
+        (admission rejection / queue expiry / late-completion miss — see
+        :mod:`repro.serving.scheduler`).  The legacy tick-drain router
+        ignores it.
     """
 
     user_id: int
     features: np.ndarray
     arrival_seconds: float = 0.0
+    deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.user_id < 0:
             raise DataError(f"user_id must be non-negative, got {self.user_id}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= self.arrival_seconds:
+            raise DataError(
+                f"deadline_seconds ({self.deadline_seconds}) must be after "
+                f"arrival_seconds ({self.arrival_seconds})"
+            )
 
     @property
     def n_windows(self) -> int:
@@ -81,6 +97,20 @@ class WorkloadSpec:
     zipf_exponent:
         For ``"zipf"``: exponent of the rank-frequency law (larger = more
         skewed toward the heaviest users).
+    deadline_seconds:
+        Base *relative* deadline per request, in simulated seconds after
+        its arrival; ``None`` (the default) emits deadline-less traffic and
+        leaves the generated stream bit-identical to earlier versions.
+    deadline_multipliers:
+        Discrete deadline classes: each request's relative deadline is
+        ``deadline_seconds`` times a multiplier drawn uniformly (seeded)
+        from this tuple — e.g. ``(1.0, 40.0)`` mixes urgent and relaxed
+        traffic.  Discrete classes (rather than continuous jitter) keep
+        co-arriving requests coalescible into large engine batches under
+        EDF scheduling, which groups per ``(arrival, deadline)``.
+    deadline_fraction:
+        Fraction of requests that carry a deadline at all; the rest are
+        emitted deadline-less (they sort last under EDF, in arrival order).
     """
 
     pattern: str = "uniform"
@@ -92,6 +122,9 @@ class WorkloadSpec:
     burst_every: int = 4
     burst_multiplier: float = 4.0
     zipf_exponent: float = 1.1
+    deadline_seconds: Optional[float] = None
+    deadline_multipliers: Tuple[float, ...] = (1.0,)
+    deadline_fraction: float = 1.0
 
     def __post_init__(self) -> None:
         # All spec errors are ConfigurationError, which is also a ValueError:
@@ -125,6 +158,21 @@ class WorkloadSpec:
             )
         if self.zipf_exponent <= 0:
             raise ConfigurationError("zipf_exponent must be positive")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ConfigurationError(
+                f"deadline_seconds must be positive, got {self.deadline_seconds}"
+            )
+        if not self.deadline_multipliers or any(
+            m <= 0 for m in self.deadline_multipliers
+        ):
+            raise ConfigurationError(
+                "deadline_multipliers must be a non-empty tuple of positive "
+                f"factors, got {self.deadline_multipliers!r}"
+            )
+        if not 0.0 <= self.deadline_fraction <= 1.0:
+            raise ConfigurationError(
+                f"deadline_fraction must be in [0, 1], got {self.deadline_fraction}"
+            )
 
     def requests_at_tick(self, tick: int) -> int:
         """Arrival count for one tick under this spec."""
@@ -174,6 +222,20 @@ class TrafficGenerator:
             return self._rng.choice(self.spec.n_users, size=count, p=self._user_pmf)
         return self._rng.integers(0, self.spec.n_users, size=count)
 
+    def _draw_deadlines(self, count: int, arrival: float) -> List[Optional[float]]:
+        """Seeded per-request absolute deadlines (``None`` = no deadline)."""
+        spec = self.spec
+        multipliers = np.asarray(spec.deadline_multipliers, dtype=np.float64)
+        relative = spec.deadline_seconds * self._rng.choice(multipliers, size=count)
+        if spec.deadline_fraction < 1.0:
+            carried = self._rng.random(count) < spec.deadline_fraction
+        else:
+            carried = np.ones(count, dtype=bool)
+        return [
+            float(arrival + relative[i]) if carried[i] else None
+            for i in range(count)
+        ]
+
     def tick(self, tick_index: int) -> List[InferenceRequest]:
         """Requests arriving during one tick (advances the internal stream)."""
         spec = self.spec
@@ -183,11 +245,16 @@ class TrafficGenerator:
             0, self.pool.shape[0], size=(count, spec.windows_per_request)
         )
         arrival = tick_index * spec.tick_seconds
+        if spec.deadline_seconds is not None:
+            deadlines = self._draw_deadlines(count, arrival)
+        else:
+            deadlines = [None] * count
         return [
             InferenceRequest(
                 user_id=int(users[i]),
                 features=self.pool[rows[i]],
                 arrival_seconds=arrival,
+                deadline_seconds=deadlines[i],
             )
             for i in range(count)
         ]

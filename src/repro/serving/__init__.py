@@ -14,7 +14,11 @@ front door:
   same API;
 * **scheduler** (:mod:`repro.serving.scheduler`) — an event-loop
   :class:`EventLoopScheduler` over the fleet's simulated ``DeviceStats``
-  clock, superseding the legacy router's synchronous per-tick drain;
+  clock, superseding the legacy router's synchronous per-tick drain, with a
+  pluggable queue order (:data:`SCHEDULING_ORDERS`): ``"fifo"`` arrival
+  order or ``"edf"`` earliest-deadline-first, plus deadline admission
+  control and per-device SLO accounting
+  (``DeviceStats.deadline_misses``, ``RoutingReport.slo_attainment``);
 * **routing** (:mod:`repro.serving.routing`) — pluggable
   :class:`RoutingPolicy` implementations (seeded ``"hash"``,
   ``"least-loaded"``, power-of-two-choices ``"p2c"``), selectable per
@@ -26,7 +30,9 @@ front door:
 
 ``benchmarks/bench_serving.py`` gates the scheduler's per-request overhead
 against the legacy router and the p99 latency win of ``least-loaded`` over
-``hash`` under Zipf-skewed traffic.
+``hash`` under Zipf-skewed traffic; ``benchmarks/bench_deadlines.py`` gates
+that EDF answers strictly more requests within deadline than FIFO on an
+overloaded Zipf workload at no extra per-request overhead.
 """
 
 from repro.exceptions import (
@@ -67,11 +73,12 @@ from repro.serving.routing import (
     RoutingPolicy,
     make_routing_policy,
 )
-from repro.serving.scheduler import EventLoopScheduler
+from repro.serving.scheduler import SCHEDULING_ORDERS, EventLoopScheduler
 
 __all__ = [
     "serve",
     "ServingClient",
+    "SCHEDULING_ORDERS",
     "PredictRequest",
     "PredictResponse",
     "Prediction",

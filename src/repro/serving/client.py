@@ -96,6 +96,11 @@ class ServingClient:
         for the seeded-hash default.
     seed:
         Seeds the routing policy; same seed, same placement.
+    scheduling:
+        Queue order of the event-loop scheduler: ``"fifo"`` (arrival order,
+        the default) or ``"edf"`` (earliest-deadline-first — requests with
+        the tightest deadlines are served first; see
+        :mod:`repro.serving.scheduler` for the full deadline semantics).
     coordinator:
         The owning :class:`~repro.fleet.FleetCoordinator`, when there is one;
         enables cohort-confined routing under an active A/B rollout.
@@ -107,10 +112,13 @@ class ServingClient:
         *,
         routing: Union[str, RoutingPolicy, None] = None,
         seed: RandomState = None,
+        scheduling: str = "fifo",
         coordinator: Optional[FleetCoordinator] = None,
         label: str = "fleet",
     ) -> None:
-        self._scheduler = EventLoopScheduler(devices, routing, seed=seed)
+        self._scheduler = EventLoopScheduler(
+            devices, routing, seed=seed, scheduling=scheduling
+        )
         self._coordinator = coordinator
         self.label = label
 
@@ -119,6 +127,11 @@ class ServingClient:
     def routing(self) -> str:
         """Name of the active routing policy."""
         return self._scheduler.policy.name
+
+    @property
+    def scheduling(self) -> str:
+        """Active queue order (``"fifo"`` or ``"edf"``)."""
+        return self._scheduler.scheduling
 
     @property
     def scheduler(self) -> EventLoopScheduler:
@@ -202,6 +215,7 @@ class ServingClient:
         return {
             "label": self.label,
             "routing": self.routing,
+            "scheduling": self.scheduling,
             "n_devices": self.n_devices,
             "pending_requests": self.pending_requests,
         }
@@ -277,6 +291,7 @@ def serve(
     *,
     routing: Union[str, RoutingPolicy, None] = None,
     seed: RandomState = None,
+    scheduling: str = "fifo",
 ) -> ServingClient:
     """Build a :class:`ServingClient` from any serving-capable object.
 
@@ -286,37 +301,38 @@ def serve(
     :class:`~repro.edge.magneto.MagnetoPlatform`, a single
     :class:`~repro.fleet.FleetDevice` or a whole
     :class:`~repro.fleet.FleetCoordinator` — every layer answers the same
-    request/response protocol afterwards.
+    request/response protocol afterwards.  ``scheduling`` picks the queue
+    order (``"fifo"`` arrival order or ``"edf"`` earliest-deadline-first).
     """
     from repro.core.pilote import PILOTE  # deferred: core must not import serving
 
+    options = dict(routing=routing, seed=seed, scheduling=scheduling)
     if isinstance(target, FleetCoordinator):
         if not target.devices:
             raise ServingError("the fleet has no devices; provision() first")
         return ServingClient(
             target.devices,
-            routing=routing,
-            seed=seed,
             coordinator=target,
             label="fleet",
+            **options,
         )
     if isinstance(target, FleetDevice):
-        return ServingClient([target], routing=routing, seed=seed, label="fleet-device")
+        return ServingClient([target], label="fleet-device", **options)
     if isinstance(target, MagnetoPlatform):
         device = LocalServingDevice(
             target._serve_edge, profile=target.device.profile
         )
-        return ServingClient([device], routing=routing, seed=seed, label="platform")
+        return ServingClient([device], label="platform", **options)
     if isinstance(target, EdgeDevice):
         device = LocalServingDevice(target.serve, profile=target.profile)
-        return ServingClient([device], routing=routing, seed=seed, label="edge-device")
+        return ServingClient([device], label="edge-device", **options)
     if isinstance(target, InferenceEngine):
         device = LocalServingDevice(target.predict)
-        return ServingClient([device], routing=routing, seed=seed, label="engine")
+        return ServingClient([device], label="engine", **options)
     if isinstance(target, PILOTE):
         engine = target.inference_engine()
         device = LocalServingDevice(engine.predict)
-        return ServingClient([device], routing=routing, seed=seed, label="learner")
+        return ServingClient([device], label="learner", **options)
     raise ServingError(
         f"don't know how to serve {type(target).__name__}; expected a PILOTE "
         "learner, InferenceEngine, EdgeDevice, MagnetoPlatform, FleetDevice "

@@ -58,14 +58,28 @@ class PredictRequest:
         shard or balance on it.
     features:
         ``(n_windows, n_features)`` feature batch (a single 1-D window is
-        promoted to one row).
+        promoted to one row, by copy).  Both dimensions must be non-empty —
+        a ``(n, 0)`` batch has nothing to classify and is rejected here
+        with a typed :class:`~repro.exceptions.InvalidRequestError` instead
+        of failing deep inside the engine GEMM.  The stored array is marked
+        read-only at construction: batches coalesce into shared engine
+        calls after submit, so post-submit mutation would silently corrupt
+        co-batched requests.  A 2-D input is stored *without copying* (the
+        hot path must not duplicate payloads), which means the caller's own
+        array object becomes read-only — deliberate: mutating a submitted
+        payload should fail loudly at the write site, not corrupt a batch.
     arrival_seconds:
         Simulated arrival time of the request.
     deadline_seconds:
-        Optional absolute simulated deadline.  A request whose service has
-        not *started* by its deadline is expired with
-        :class:`~repro.exceptions.DeadlineExceededError`; one that started in
-        time but finished late is answered with ``deadline_missed=True``.
+        Optional absolute simulated deadline.  A request whose deadline is
+        already unmeetable at submit is *rejected* by admission control (the
+        future completes immediately with
+        :class:`~repro.exceptions.DeadlineExceededError`); one whose service
+        has not *started* by its deadline is *expired* with the same error
+        at drain time; one that started in time but finished late is
+        answered with ``deadline_missed=True``.  Deadlines also drive queue
+        order under earliest-deadline-first scheduling
+        (``serve(..., scheduling="edf")``).
     metadata:
         Opaque caller payload, echoed back on the response.
     request_id:
@@ -86,12 +100,23 @@ class PredictRequest:
             )
         features = np.asarray(self.features)
         if features.ndim == 1:
-            features = features[None, :]
+            # Promote to one row by copy: freezing a view of the caller's
+            # 1-D buffer would not stop mutation through the base array.
+            features = features[None, :].copy()
         if features.ndim != 2 or features.shape[0] == 0:
             raise InvalidRequestError(
                 f"features must be a non-empty (n_windows, n_features) batch, "
                 f"got shape {np.asarray(self.features).shape}"
             )
+        if features.shape[1] == 0:
+            raise InvalidRequestError(
+                f"features must carry at least one feature per window, got "
+                f"shape {features.shape}; a zero-feature batch cannot be "
+                "classified"
+            )
+        # Freeze the payload: after submit it may be concatenated into a
+        # coalesced engine batch, so caller mutation must fail loudly.
+        features.setflags(write=False)
         object.__setattr__(self, "features", features)
         if self.deadline_seconds is not None and self.deadline_seconds <= self.arrival_seconds:
             raise InvalidRequestError(

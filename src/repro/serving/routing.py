@@ -16,7 +16,11 @@ Three implementations ship with the library:
 Load is the scheduler's estimate ``queued_requests + backlog_seconds x
 observed_service_rate`` (see ``EventLoopScheduler.lane_loads``), so policies
 stay correct both when a whole stream is submitted before draining and when
-the caller drains tick by tick.
+the caller drains tick by tick.  The balancing policies refresh that
+estimate *per arrival-time segment* of a submission (plus the assignments
+they have already made within the call), so a multi-tick batch balances
+against the backlog as of each tick's arrival instead of a stale snapshot
+taken at the first request's arrival.
 """
 
 from __future__ import annotations
@@ -41,6 +45,20 @@ __all__ = [
 
 def _draw_salt(rng) -> np.uint64:
     return np.uint64(rng.integers(0, 2**63 - 1, dtype=np.int64))
+
+
+def _arrival_segments(requests) -> tuple:
+    """``(arrivals, bounds)``: runs of equal arrival time in a submission.
+
+    ``bounds`` holds segment edges ``[0, ..., len(requests)]``; the balancing
+    policies refresh their load estimate at each segment's arrival so
+    multi-tick submissions never balance against a stale backlog snapshot.
+    """
+    arrivals = np.fromiter(
+        (r.arrival_seconds for r in requests), dtype=np.float64, count=len(requests)
+    )
+    bounds = [0, *(np.flatnonzero(np.diff(arrivals)) + 1).tolist(), len(requests)]
+    return arrivals, bounds
 
 
 class RoutingPolicy:
@@ -112,27 +130,39 @@ class LeastLoadedRouting(RoutingPolicy):
     assignment adds one request to the chosen lane — loads are counted in
     requests, matching ``EventLoopScheduler.lane_loads``), so a burst
     spreads evenly instead of dog-piling the lane that was idle at batch
-    start.  Not sticky per user — a deliberate trade of the MAGNETO
-    per-user placement for tail latency.
+    start, and re-queried from the scheduler at every arrival-time segment
+    so multi-tick submissions see the backlog decay between ticks.  Not
+    sticky per user — a deliberate trade of the MAGNETO per-user placement
+    for tail latency.
     """
 
     name = "least-loaded"
 
     def assign_batch(self, requests, user_ids, scheduler, lanes=None):
-        arrival = requests[0].arrival_seconds if len(requests) else 0.0
-        loads = scheduler.lane_loads(arrival)
         out = np.empty(len(requests), dtype=np.int64)
-        if lanes is None:
-            for index in range(len(requests)):
-                lane = int(np.argmin(loads))
-                out[index] = lane
-                loads[lane] += 1.0
-        else:
+        if not len(requests):
+            return out
+        arrivals, bounds = _arrival_segments(requests)
+        if lanes is not None:
             lanes = np.asarray(lanes, dtype=np.int64)
-            for index in range(len(requests)):
-                lane = int(lanes[int(np.argmin(loads[lanes]))])
-                out[index] = lane
-                loads[lane] += 1.0
+        # Assignments already made in this call, layered over each segment's
+        # fresh scheduler estimate (the scheduler only learns of them after
+        # assign_batch returns).
+        assigned = np.zeros(self._n_lanes)
+        for start, end in zip(bounds, bounds[1:]):
+            loads = scheduler.lane_loads(float(arrivals[start])) + assigned
+            if lanes is None:
+                for index in range(start, end):
+                    lane = int(np.argmin(loads))
+                    out[index] = lane
+                    loads[lane] += 1.0
+                    assigned[lane] += 1.0
+            else:
+                for index in range(start, end):
+                    lane = int(lanes[int(np.argmin(loads[lanes]))])
+                    out[index] = lane
+                    loads[lane] += 1.0
+                    assigned[lane] += 1.0
         return out
 
 
@@ -147,17 +177,23 @@ class PowerOfTwoRouting(RoutingPolicy):
         self._salt_b = _draw_salt(rng)
 
     def assign_batch(self, requests, user_ids, scheduler, lanes=None):
+        out = np.empty(len(requests), dtype=np.int64)
+        if not len(requests):
+            return out
         pool = np.arange(self._n_lanes) if lanes is None else np.asarray(lanes, np.int64)
         first = pool[(splitmix64(user_ids, self._salt_a) % np.uint64(pool.size)).astype(np.int64)]
         second = pool[(splitmix64(user_ids, self._salt_b) % np.uint64(pool.size)).astype(np.int64)]
-        arrival = requests[0].arrival_seconds if len(requests) else 0.0
-        loads = scheduler.lane_loads(arrival)
-        out = np.empty(len(requests), dtype=np.int64)
-        for index in range(len(requests)):
-            a, b = int(first[index]), int(second[index])
-            lane = a if loads[a] <= loads[b] else b
-            out[index] = lane
-            loads[lane] += 1.0
+        arrivals, bounds = _arrival_segments(requests)
+        assigned = np.zeros(self._n_lanes)
+        for start, end in zip(bounds, bounds[1:]):
+            # Fresh estimate per arrival segment, plus this call's own picks.
+            loads = scheduler.lane_loads(float(arrivals[start])) + assigned
+            for index in range(start, end):
+                a, b = int(first[index]), int(second[index])
+                lane = a if loads[a] <= loads[b] else b
+                out[index] = lane
+                loads[lane] += 1.0
+                assigned[lane] += 1.0
         return out
 
 

@@ -13,15 +13,48 @@ scheduler reuses the fleet's :class:`~repro.fleet.router.DeviceStats` /
 :class:`~repro.fleet.router.RoutingReport` types, and additionally records
 per-request latencies so reports can answer percentile (p99) questions.
 
+Queue order is a pluggable seam (``scheduling=``, one of
+:data:`SCHEDULING_ORDERS`):
+
+* ``"fifo"`` (default) — each lane serves its batches in arrival order, the
+  behaviour of the legacy tick drain;
+* ``"edf"`` — earliest-deadline-first: each lane serves the queued batch
+  with the earliest deadline among those that have already arrived
+  (deadline-less batches sort last and fall back to arrival order among
+  themselves).  Under overload EDF answers strictly more requests within
+  their deadlines than FIFO, which expires late-queued urgent requests
+  behind relaxed ones (``benchmarks/bench_deadlines.py`` gates this).
+
+Deadline semantics, end to end:
+
+* a request whose deadline has already passed at *submit* time (the lane
+  cannot possibly start serving it in time) is **rejected** by admission
+  control: its future completes immediately with
+  :class:`~repro.exceptions.DeadlineExceededError` and it never occupies
+  queue space (counted in ``RoutingReport.total_rejected``, included in
+  ``total_expired``);
+* a queued request whose deadline passes before service *begins* is
+  **expired** with the same error at drain time (``total_expired``);
+* a request whose service began in time but *completed* late is still
+  answered, with ``PredictResponse.deadline_missed`` set and the per-device
+  ``DeviceStats.deadline_misses`` counter incremented;
+* everything else is **served** within its deadline.
+  ``RoutingReport.deadline_attainment`` / ``slo_attainment`` aggregate the
+  breakdown.
+
 Design notes for the hot path (the per-request overhead is gated against the
-legacy router in ``benchmarks/bench_serving.py``):
+legacy router in ``benchmarks/bench_serving.py`` and
+``benchmarks/bench_deadlines.py``):
 
 * assignment is vectorised per submitted batch (one hash over all user ids
   for the default policy), and requests are grouped into per-lane batches
   with numpy, not per-request branching;
 * requests sharing a device and an arrival time coalesce into one queue
   entry served by a single engine call — the same batching the legacy
-  router performed per tick;
+  router performed per tick (under EDF, co-arriving requests additionally
+  split by deadline so the queue order can discriminate; discrete deadline
+  classes — see ``WorkloadSpec.deadline_multipliers`` — keep that split
+  coarse and the engine batches large);
 * completion state lives on the *batch*: futures are three-slot views
   ``(request, batch, index)``, so finishing a batch is O(1) in the number
   of requests, and per-request class-id slices materialise lazily on
@@ -33,17 +66,26 @@ from __future__ import annotations
 import heapq
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import DeadlineExceededError, RoutingError, ServingError
+from repro.exceptions import (
+    ConfigurationError,
+    DeadlineExceededError,
+    RoutingError,
+    ServingError,
+)
 from repro.fleet.router import DeviceStats, RoutingReport
 from repro.serving.protocol import PendingResult, PredictResponse
 from repro.serving.routing import RoutingPolicy, make_routing_policy
 from repro.utils.rng import RandomState, resolve_rng
 
-__all__ = ["EventLoopScheduler"]
+__all__ = ["EventLoopScheduler", "SCHEDULING_ORDERS"]
+
+#: Queue orders understood by :class:`EventLoopScheduler` (and the
+#: ``pilote fleet-sim --scheduling`` flag).
+SCHEDULING_ORDERS = ("fifo", "edf")
 
 #: Most-recent per-request latencies kept per device for percentile views.
 #: Bounds long-lived clients (the legacy path kept no per-request history);
@@ -57,13 +99,16 @@ class _Batch:
 
     Owns the shared completion state — the engine output matrix, the device
     that answered and the simulated completion time — which the per-request
-    futures view through their index.
+    futures view through their index.  ``deadline`` is the EDF sort key
+    shared by every request in the batch (``None`` on FIFO lanes, where
+    mixed-deadline requests coalesce by arrival alone).
     """
 
     __slots__ = (
         "requests", "futures", "arrival", "scheduler",
         "outputs", "device_id", "completion", "finished",
         "error", "errors", "watchers", "_offsets",
+        "deadline", "has_deadlines",
     )
 
     def __init__(self, arrival: float, scheduler: "EventLoopScheduler") -> None:
@@ -79,6 +124,8 @@ class _Batch:
         self.errors: Optional[Dict[int, BaseException]] = None  # per request
         self.watchers: Optional[list] = None  # (future, callback) pairs
         self._offsets: Optional[np.ndarray] = None
+        self.deadline: Optional[float] = None  # shared EDF key, if any
+        self.has_deadlines = False  # any request carries a deadline
 
     def offsets(self) -> np.ndarray:
         """Lazy cumulative window offsets for per-request output slices."""
@@ -147,6 +194,118 @@ def _queue_batch(queue: Deque[_Batch], arrival: float, scheduler) -> _Batch:
     batch = _Batch(arrival, scheduler)
     queue.insert(index, batch)
     return batch
+
+
+class _FifoLane:
+    """Arrival-ordered lane queue — the legacy drain order (the default)."""
+
+    __slots__ = ("batches",)
+
+    def __init__(self) -> None:
+        self.batches: Deque[_Batch] = deque()
+
+    def __bool__(self) -> bool:
+        return bool(self.batches)
+
+    def pending_requests(self) -> int:
+        return sum(len(batch.requests) for batch in self.batches)
+
+    def batch_for(self, arrival: float, deadline: Optional[float], scheduler) -> _Batch:
+        # FIFO coalesces purely by arrival: mixed deadlines share one batch.
+        return _queue_batch(self.batches, arrival, scheduler)
+
+    def next_begin(self, available: float) -> float:
+        return max(available, self.batches[0].arrival)
+
+    def pop(self, available: float) -> Optional[_Batch]:
+        return self.batches.popleft() if self.batches else None
+
+
+class _EdfLane:
+    """Earliest-deadline-first lane queue.
+
+    Batches coalesce per ``(arrival, deadline)`` pair, so every batch has a
+    single, immutable sort key.  A batch is *released* once the lane's clock
+    reaches its arrival; among released batches the earliest deadline is
+    served first (deadline-less batches sort last, in arrival order — the
+    FIFO fallback).  Work is conserved: a lane never idles past released
+    work waiting for a not-yet-arrived urgent batch.
+    """
+
+    __slots__ = ("_by_key", "_pending", "_ready", "_seq")
+
+    def __init__(self) -> None:
+        # (arrival, deadline) -> queued batch, for coalescing resubmissions.
+        self._by_key: Dict[Tuple[float, Optional[float]], _Batch] = {}
+        self._pending: List[tuple] = []  # (arrival, seq, batch), unreleased
+        self._ready: List[tuple] = []    # (deadline_key, arrival, seq, batch)
+        self._seq = 0
+
+    def __bool__(self) -> bool:
+        return bool(self._by_key)
+
+    def pending_requests(self) -> int:
+        return sum(len(batch.requests) for batch in self._by_key.values())
+
+    def batch_for(self, arrival: float, deadline: Optional[float], scheduler) -> _Batch:
+        key = (arrival, deadline)
+        batch = self._by_key.get(key)
+        if batch is None:
+            batch = _Batch(arrival, scheduler)
+            batch.deadline = deadline
+            self._by_key[key] = batch
+            self._seq += 1
+            heapq.heappush(self._pending, (arrival, self._seq, batch))
+        return batch
+
+    def next_begin(self, available: float) -> float:
+        # Both heap tuples carry the batch arrival at slot [-3]:
+        # pending is (arrival, seq, batch), ready (key, arrival, seq, batch).
+        earliest = min(heap[0][-3] for heap in (self._pending, self._ready) if heap)
+        return max(available, earliest)
+
+    def _release_through(self, horizon: float) -> None:
+        while self._pending and self._pending[0][0] <= horizon:
+            arrival, seq, batch = heapq.heappop(self._pending)
+            key = np.inf if batch.deadline is None else batch.deadline
+            heapq.heappush(self._ready, (key, arrival, seq, batch))
+
+    def pop(self, available: float) -> Optional[_Batch]:
+        self._release_through(available)
+        if not self._ready:
+            if not self._pending:
+                return None
+            # Nothing has arrived yet: jump to the earliest arrival and
+            # release everything landing at that instant.
+            self._release_through(self._pending[0][0])
+        _, _, _, batch = heapq.heappop(self._ready)
+        del self._by_key[(batch.arrival, batch.deadline)]
+        return batch
+
+
+_LANE_CLASSES = {"fifo": _FifoLane, "edf": _EdfLane}
+
+
+class _RejectedResult(PendingResult):
+    """Already-failed future for a request rejected at admission time."""
+
+    __slots__ = ("_error",)
+
+    def __init__(self, request, error: BaseException) -> None:
+        self.request = request
+        self._error = error
+
+    def done(self) -> bool:
+        return True
+
+    def add_done_callback(self, callback) -> None:
+        callback(self)
+
+    def exception(self) -> Optional[BaseException]:
+        return self._error
+
+    def result(self) -> PredictResponse:
+        raise self._error
 
 
 class _BatchFuture(PendingResult):
@@ -226,6 +385,11 @@ class EventLoopScheduler:
         ``None`` for the default seeded hash.
     seed:
         Seeds the routing policy (hash salts); same seed, same assignment.
+    scheduling:
+        Per-lane queue order, one of :data:`SCHEDULING_ORDERS`:
+        ``"fifo"`` (arrival order, the default) or ``"edf"``
+        (earliest-deadline-first; see the module docstring for the full
+        deadline semantics).
     """
 
     def __init__(
@@ -234,14 +398,23 @@ class EventLoopScheduler:
         policy: Optional[RoutingPolicy] = None,
         *,
         seed: RandomState = None,
+        scheduling: str = "fifo",
     ) -> None:
         if not devices:
             raise RoutingError("the scheduler needs at least one device")
+        if scheduling not in _LANE_CLASSES:
+            raise ConfigurationError(
+                f"unknown scheduling order {scheduling!r}; "
+                f"expected one of {SCHEDULING_ORDERS}"
+            )
         self._devices = devices if isinstance(devices, list) else list(devices)
         self._n_lanes = len(self._devices)
         self.policy = make_routing_policy(policy)
         self.policy.bind(self._n_lanes, resolve_rng(seed))
-        self._queues: List[Deque[_Batch]] = [deque() for _ in range(self._n_lanes)]
+        self.scheduling = scheduling
+        lane_class = _LANE_CLASSES[scheduling]
+        self._lanes = [lane_class() for _ in range(self._n_lanes)]
+        self._edf = scheduling == "edf"
         self._pending_counts = np.zeros(self._n_lanes, dtype=np.float64)
         self._available_at = np.zeros(self._n_lanes, dtype=np.float64)
         # Per-lane service history (survives device replacement, unlike the
@@ -252,9 +425,11 @@ class EventLoopScheduler:
             d.device_id: DeviceStats(device_id=d.device_id, profile=d.profile.name)
             for d in self._devices
         }
-        self._total_requests = 0
+        self._total_requests = 0   # served (matches the per-device rows)
         self._total_windows = 0
-        self._total_expired = 0
+        self._total_expired = 0    # deadline passed while queued
+        self._total_rejected = 0   # deadline already unmeetable at submit
+        self._total_failed = 0     # device.infer raised mid-batch
         self._event_counter = 0
 
     # ------------------------------------------------------------------ #
@@ -270,7 +445,7 @@ class EventLoopScheduler:
     @property
     def pending_requests(self) -> int:
         """Requests submitted but not yet answered."""
-        return sum(len(b.requests) for q in self._queues for b in q)
+        return sum(lane.pending_requests() for lane in self._lanes)
 
     def lane_loads(self, now: float) -> np.ndarray:
         """Per-lane load estimate (in requests) for the balancing policies.
@@ -317,7 +492,10 @@ class EventLoopScheduler:
 
         Requests assigned to the same device with the same arrival time are
         coalesced into one engine call at drain time, which is what keeps the
-        per-request overhead at the legacy router's level.
+        per-request overhead at the legacy router's level.  Requests whose
+        deadline is already unmeetable on their lane are rejected here (their
+        futures complete immediately with
+        :class:`~repro.exceptions.DeadlineExceededError`).
         """
         if not requests:
             return []
@@ -346,24 +524,13 @@ class EventLoopScheduler:
             count=len(requests),
         )
         boundaries = np.flatnonzero(np.diff(arrivals)) + 1
-        queue = self._queues[0]
         futures: List[PendingResult] = []
         start = 0
         for end in [*boundaries.tolist(), len(requests)]:
-            segment = requests[start:end]
-            arrival = float(arrivals[start])
-            batch = _queue_batch(queue, arrival, self)
-            base = len(batch.requests)
-            segment_futures = [
-                _BatchFuture(request, batch, base + offset)
-                for offset, request in enumerate(segment)
-            ]
-            batch.requests.extend(segment)
-            batch.futures.extend(segment_futures)
-            futures.extend(segment_futures)
+            futures.extend(
+                self._enqueue_segment(0, float(arrivals[start]), requests[start:end])
+            )
             start = end
-        self._pending_counts[0] += len(requests)
-        self._total_requests += len(requests)
         return futures
 
     def submit_assigned(self, requests: Sequence, assignment: np.ndarray) -> List[PendingResult]:
@@ -392,22 +559,81 @@ class EventLoopScheduler:
             # run per tick in the common open-loop case).
             lane_arrivals = arrivals[lane_indices]
             boundaries = np.flatnonzero(np.diff(lane_arrivals)) + 1
-            queue = self._queues[lane]
             for segment in np.split(lane_indices, boundaries):
-                arrival = float(arrivals[segment[0]])
-                batch = _queue_batch(queue, arrival, self)
-                base = len(batch.requests)
-                segment_requests = [requests[i] for i in segment]
-                segment_futures = [
-                    _BatchFuture(request, batch, base + offset)
-                    for offset, request in enumerate(segment_requests)
-                ]
-                batch.requests.extend(segment_requests)
-                batch.futures.extend(segment_futures)
+                segment_futures = self._enqueue_segment(
+                    lane,
+                    float(arrivals[segment[0]]),
+                    [requests[i] for i in segment],
+                )
                 for index, future in zip(segment.tolist(), segment_futures):
                     futures[index] = future
-            self._pending_counts[lane] += lane_indices.size
-        self._total_requests += len(requests)
+        return futures  # type: ignore[return-value]
+
+    def _enqueue_segment(
+        self, position: int, arrival: float, segment: Sequence
+    ) -> List[PendingResult]:
+        """Queue one run of co-arriving requests onto one lane.
+
+        The no-deadline fast path appends the whole segment to a single
+        arrival-keyed batch; segments carrying deadlines go through admission
+        control and (under EDF) per-deadline grouping.
+        """
+        if any(
+            getattr(request, "deadline_seconds", None) is not None
+            for request in segment
+        ):
+            return self._enqueue_deadline_segment(position, arrival, segment)
+        batch = self._lanes[position].batch_for(arrival, None, self)
+        base = len(batch.requests)
+        futures: List[PendingResult] = [
+            _BatchFuture(request, batch, base + offset)
+            for offset, request in enumerate(segment)
+        ]
+        batch.requests.extend(segment)
+        batch.futures.extend(futures)
+        self._pending_counts[position] += len(segment)
+        return futures
+
+    def _enqueue_deadline_segment(
+        self, position: int, arrival: float, segment: Sequence
+    ) -> List[PendingResult]:
+        lane = self._lanes[position]
+        # Admission floor: the lane cannot start any new work earlier than
+        # max(its simulated backlog, the arrival itself) — a deadline below
+        # it can never be met, so fail the future now instead of queueing.
+        floor = max(float(self._available_at[position]), arrival)
+        futures: List[Optional[PendingResult]] = [None] * len(segment)
+        groups: Dict[Optional[float], List[int]] = {}
+        admitted = 0
+        for index, request in enumerate(segment):
+            deadline = getattr(request, "deadline_seconds", None)
+            if deadline is not None and floor > deadline:
+                futures[index] = _RejectedResult(
+                    request,
+                    DeadlineExceededError(
+                        f"user {request.user_id}: rejected at admission — "
+                        f"service cannot start before {floor:.6f}s, past the "
+                        f"deadline {deadline:.6f}s"
+                    ),
+                )
+                self._total_rejected += 1
+                continue
+            # FIFO keeps the legacy arrival-only coalescing; EDF separates
+            # co-arriving deadlines so the queue order can discriminate.
+            groups.setdefault(deadline if self._edf else None, []).append(index)
+            admitted += 1
+        for deadline, indices in groups.items():
+            batch = lane.batch_for(arrival, deadline, self)
+            if deadline is not None or not self._edf:
+                batch.has_deadlines = True
+            base = len(batch.requests)
+            for offset, index in enumerate(indices):
+                request = segment[index]
+                future = _BatchFuture(request, batch, base + offset)
+                batch.requests.append(request)
+                batch.futures.append(future)
+                futures[index] = future
+        self._pending_counts[position] += admitted
         return futures  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
@@ -417,32 +643,43 @@ class EventLoopScheduler:
         Lanes are processed in simulated-clock order: the heap always pops
         the lane whose next batch starts earliest (``max(available_at, batch
         arrival)``), mirroring devices draining their queues in parallel.
-        Returns the number of requests resolved — answered *or* expired
-        past their deadline (``report().total_expired`` separates the two).
+        Done-callbacks may submit follow-up requests mid-drain (including
+        onto lanes already drained) and may even re-enter ``drain()``; the
+        loop re-scans the lanes until no queued request remains.  Returns
+        the number of requests this call resolved — answered, expired past
+        their deadline, or failed (``report()`` separates the three).
         """
-        heap = []
-        for position, queue in enumerate(self._queues):
-            if queue:
-                self._event_counter += 1
-                begin = max(self._available_at[position], queue[0].arrival)
-                heap.append((begin, self._event_counter, position))
-        heapq.heapify(heap)
-        answered = 0
-        while heap:
-            _, _, position = heapq.heappop(heap)
-            answered += self._execute_next(position)
-            queue = self._queues[position]
-            if queue:
-                self._event_counter += 1
-                begin = max(self._available_at[position], queue[0].arrival)
-                heapq.heappush(heap, (begin, self._event_counter, position))
-        return answered
+        resolved = 0
+        while True:
+            heap = []
+            for position, lane in enumerate(self._lanes):
+                if lane:
+                    self._event_counter += 1
+                    begin = lane.next_begin(self._available_at[position])
+                    heap.append((begin, self._event_counter, position))
+            if not heap:
+                return resolved
+            heapq.heapify(heap)
+            while heap:
+                _, _, position = heapq.heappop(heap)
+                resolved += self._execute_next(position)
+                lane = self._lanes[position]
+                if lane:
+                    self._event_counter += 1
+                    begin = lane.next_begin(self._available_at[position])
+                    heapq.heappush(heap, (begin, self._event_counter, position))
+            # A done-callback may have enqueued onto a lane that already left
+            # the heap — the outer loop re-scans until everything is served.
 
     def _execute_next(self, position: int) -> int:
         """Serve one queued batch on the device currently holding the lane."""
-        batch = self._queues[position].popleft()
-        n_answered = len(batch.requests)
-        self._pending_counts[position] -= n_answered
+        batch = self._lanes[position].pop(self._available_at[position])
+        if batch is None:
+            # A re-entrant drain (from a done-callback resolving a future)
+            # already served this lane; the outer heap entry is stale.
+            return 0
+        n_resolved = len(batch.requests)
+        self._pending_counts[position] -= n_resolved
         device = self._devices[position]
         # setdefault: a replacement device (crash/restore) may carry a new
         # id; it inherits the lane but gets its own stats row.
@@ -453,13 +690,10 @@ class EventLoopScheduler:
         arrival = batch.arrival
         begin = max(self._available_at[position], arrival)
         requests = batch.requests
-        if any(
-            getattr(request, "deadline_seconds", None) is not None
-            for request in requests
-        ):
+        if batch.has_deadlines:
             requests = self._expire(batch, begin)
             if not requests:
-                return n_answered
+                return n_resolved
         windows = (
             requests[0].features
             if len(requests) == 1
@@ -470,8 +704,12 @@ class EventLoopScheduler:
         try:
             outputs = device.infer(windows)
         except Exception as error:  # typed errors travel through the futures
+            # Failed requests are neither served nor expired: they stay out
+            # of total_requests (which must keep matching the per-device
+            # rows) and are reported in total_failed.
+            self._total_failed += len(requests)
             batch.finish(None, device.device_id, begin, error=error)
-            return n_answered
+            return n_resolved
         wall = time.perf_counter() - start
         service = wall / device.profile.relative_compute
         completion = begin + service
@@ -488,6 +726,17 @@ class EventLoopScheduler:
             stats.max_queue_depth,
             len(requests) + (1 if begin > arrival else 0),
         )
+        if batch.has_deadlines:
+            n_deadline = 0
+            n_missed = 0
+            for request in requests:
+                deadline = getattr(request, "deadline_seconds", None)
+                if deadline is not None:
+                    n_deadline += 1
+                    if completion > deadline:
+                        n_missed += 1
+            stats.deadline_requests += n_deadline
+            stats.deadline_misses += n_missed
         self._lane_served[position] += len(requests)
         self._lane_busy[position] += service
         latency = completion - arrival
@@ -496,9 +745,10 @@ class EventLoopScheduler:
         latencies.extend([latency] * len(requests))
         if len(latencies) > 2 * LATENCY_HISTORY_CAP:
             del latencies[: len(latencies) - LATENCY_HISTORY_CAP]
+        self._total_requests += len(requests)
         self._total_windows += n_windows
         batch.finish(outputs, device.device_id, completion)
-        return n_answered
+        return n_resolved
 
     def _expire(self, batch: _Batch, begin: float) -> List:
         """Fail queued requests whose deadline passed before service began.
@@ -522,21 +772,25 @@ class EventLoopScheduler:
                 kept_futures.append(future)
         for new_index, future in enumerate(kept_futures):
             future._index = new_index
-        n_expired = len(batch.requests) - len(kept_requests)
-        # Expired requests were never served: move them out of the served
-        # totals so mean latency and per-device rows stay consistent.
-        self._total_requests -= n_expired
-        self._total_expired += n_expired
+        self._total_expired += len(batch.requests) - len(kept_requests)
         batch.requests = kept_requests
         batch.futures = kept_futures
         return kept_requests
 
     # ------------------------------------------------------------------ #
     def report(self) -> RoutingReport:
-        """Serving statistics so far (stats keep accumulating afterwards)."""
+        """Serving statistics so far (stats keep accumulating afterwards).
+
+        ``total_requests`` counts *served* requests only, so it always
+        matches the sum of the per-device rows — expired, admission-rejected
+        and failed requests are reported in ``total_expired`` /
+        ``total_rejected`` / ``total_failed`` instead.
+        """
         return RoutingReport(
             per_device=dict(self._stats),
             total_requests=self._total_requests,
             total_windows=self._total_windows,
-            total_expired=self._total_expired,
+            total_expired=self._total_expired + self._total_rejected,
+            total_rejected=self._total_rejected,
+            total_failed=self._total_failed,
         )

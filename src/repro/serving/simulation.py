@@ -42,13 +42,15 @@ class ServingSimulationResult:
     routing_policy: str
     n_requests: int
     layer_rows: List[Dict[str, object]] = field(default_factory=list)
+    scheduling_order: str = "fifo"
 
     def to_text(self) -> str:
         lines = [
             "Unified serving API: one request stream, three layers",
             "",
             f"requests per layer: {self.n_requests}  "
-            f"(routing policy: {self.routing_policy})",
+            f"(routing policy: {self.routing_policy}, "
+            f"scheduling: {self.scheduling_order})",
             "",
             f"{'layer':>10}{'devices':>9}{'windows':>9}{'throughput':>12}"
             f"{'mean ms':>9}{'p99 ms':>9}{'agreement':>11}",
@@ -74,9 +76,16 @@ def run(
     *,
     n_devices: Optional[int] = None,
     routing: Optional[str] = None,
+    scheduling: Optional[str] = None,
 ) -> ServingSimulationResult:
-    """Serve one seeded workload through learner, platform and fleet."""
+    """Serve one seeded workload through learner, platform and fleet.
+
+    ``scheduling`` picks the event-loop queue order (``"fifo"``/``"edf"``);
+    the stream itself is deadline-less, so both orders serve it identically
+    — the flag exists to exercise the EDF path end to end from the CLI.
+    """
     settings = settings or ExperimentSettings.default()
+    scheduling = scheduling or "fifo"
     n_devices = n_devices if n_devices is not None else FLEET_SCENARIO.n_devices
     if n_devices <= 0:
         raise ConfigurationError(f"n_devices must be positive, got {n_devices}")
@@ -122,7 +131,7 @@ def run(
     rows: List[Dict[str, object]] = []
     n_requests = 0
     for label, target, devices in layers:
-        client = serve(target, routing=routing, seed=settings.seed)
+        client = serve(target, routing=routing, scheduling=scheduling, seed=settings.seed)
         traffic = TrafficGenerator(scenario.test, workload, seed=settings.seed)
         futures = []
         for requests in traffic.ticks():
@@ -154,4 +163,5 @@ def run(
         routing_policy=routing or "hash",
         n_requests=n_requests,
         layer_rows=rows,
+        scheduling_order=scheduling,
     )
