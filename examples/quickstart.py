@@ -84,7 +84,10 @@ def main() -> None:
           f"support set {footprint['support_set_bytes'] / 1024:.1f} KB")
 
     # 6. Serving through the unified API: the same client (and request/
-    #    response types) would front a MagnetoPlatform or an N-device fleet.
+    #    response types) would front a MagnetoPlatform or an N-device fleet,
+    #    and serve(..., executor="process", workers=N) would run the same
+    #    batches on real worker processes instead of inline (see
+    #    examples/serving_api.py step 6).
     client = serve(learner)
     pending = client.submit(
         PredictRequest(user_id=7, features=scenario.test.features[:4])

@@ -18,9 +18,12 @@ on it (autodiff, nn, PILOTE core, serving):
 """
 
 from repro.backend.backend import (
+    BACKENDS,
     Backend,
     NumpyBackend,
     get_backend,
+    install_worker_backend,
+    make_backend,
     set_backend,
     use_backend,
 )
@@ -43,9 +46,12 @@ from repro.backend.registry import (
 from repro.backend.workspace import Workspace
 
 __all__ = [
+    "BACKENDS",
     "Backend",
     "NumpyBackend",
     "get_backend",
+    "install_worker_backend",
+    "make_backend",
     "set_backend",
     "use_backend",
     "PROFILE_DTYPES",

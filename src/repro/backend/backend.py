@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 import contextlib
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
 
@@ -172,3 +172,38 @@ def use_backend(backend: Backend) -> Iterator[Backend]:
         yield backend
     finally:
         set_backend(previous)
+
+
+#: Backend name → class, for spawning backends by name in worker processes.
+BACKENDS = {NumpyBackend.name: NumpyBackend}
+
+
+def make_backend(name: str) -> Backend:
+    """A fresh backend instance by registry name (own workspace buffers)."""
+    try:
+        return BACKENDS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; expected one of {sorted(BACKENDS)}"
+        ) from None
+
+
+def install_worker_backend(backend: Union[str, Backend] = NumpyBackend.name,
+                           dtype=None) -> Backend:
+    """Per-process installation hook for executor worker processes.
+
+    A worker process (see :class:`repro.serving.ProcessExecutor`) must not
+    share mutable backend state — workspace scratch buffers, the dtype
+    policy — with the parent, so each worker calls this once at startup:
+    a *fresh* backend instance is built (by registry name, so the parent
+    only ships a string over IPC) and installed via :func:`set_backend`,
+    and the worker's base compute dtype is set when given.  Returns the
+    installed backend.
+    """
+    from repro.backend.policy import set_default_dtype
+
+    instance = make_backend(backend) if isinstance(backend, str) else backend
+    set_backend(instance)
+    if dtype is not None:
+        set_default_dtype(dtype)
+    return instance

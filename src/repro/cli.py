@@ -11,11 +11,15 @@ Beyond the paper, ``pilote fleet-sim`` runs the multi-device fleet serving
 simulation (:mod:`repro.fleet.simulation`); ``--devices`` overrides the fleet
 size of the default scenario, ``--routing {hash,least-loaded,p2c}`` picks
 the serving client's routing policy, ``--scheduling {fifo,edf}`` its queue
-order (arrival order vs earliest-deadline-first) and ``--deadline-ms``
+order (arrival order vs earliest-deadline-first), ``--deadline-ms``
 attaches seeded per-request deadlines to the generated traffic (reported as
-a served/missed/expired SLO breakdown).  ``pilote serve`` answers one seeded
-workload through all three serving layers (bare learner, MAGNETO platform,
-fleet) over the unified :mod:`repro.serving` API.
+a served/missed/expired SLO breakdown), and ``--executor
+{serial,thread,process}`` with ``--workers N`` picks where batches execute
+(the serial default models the simulated parallel clock; thread/process run
+real shared-memory or multi-process workers and report measured wall-clock
+latency).  ``pilote serve`` answers one seeded workload through all three
+serving layers (bare learner, MAGNETO platform, fleet) over the unified
+:mod:`repro.serving` API.
 
 The ``--scale`` flag picks an :class:`~repro.experiments.common.ExperimentSettings`
 preset (``quick``, ``default`` or ``paper``).
@@ -39,7 +43,7 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentSettings
 from repro.fleet import simulation as fleet_simulation
-from repro.serving import ROUTING_POLICIES, SCHEDULING_ORDERS
+from repro.serving import EXECUTORS, ROUTING_POLICIES, SCHEDULING_ORDERS
 from repro.serving import simulation as serving_simulation
 from repro.utils.logging import enable_console_logging
 
@@ -105,7 +109,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="mean per-request deadline for fleet-sim traffic in simulated "
-        "milliseconds (default: no deadlines)",
+        "milliseconds (default: no deadlines); only valid with the serial "
+        "executor, whose simulated clock matches the generated arrivals "
+        "(thread/process serve on the measured wall clock)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=sorted(EXECUTORS),
+        default=None,
+        help="batch executor for fleet-sim: serial (inline, simulated clock; "
+        "default), thread, or process (real multi-process workers reporting "
+        "measured wall-clock latency)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker pool size for --executor thread/process "
+        "(default: one per CPU core, capped at the device count)",
     )
     parser.add_argument(
         "--verbose", action="store_true", help="enable progress logging to stderr"
@@ -127,12 +148,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             scheduling=arguments.scheduling,
         )
         if arguments.experiment == "fleet-sim":
+            # Fail the incoherent combinations at the parser, before any
+            # dataset/fleet setup runs.
+            concurrent = arguments.executor in ("thread", "process")
+            if arguments.workers is not None and not concurrent:
+                parser.error(
+                    "--workers sizes a concurrent pool; pass --executor "
+                    "thread or --executor process with it"
+                )
+            if arguments.deadline_ms is not None and concurrent:
+                parser.error(
+                    "--deadline-ms needs the serial executor: the generated "
+                    "arrivals/deadlines are simulated-clock quantities, while "
+                    "thread/process serve on the measured wall clock"
+                )
             serving_kwargs["deadline_ms"] = arguments.deadline_ms
-        elif arguments.deadline_ms is not None:
-            parser.error(
-                "--deadline-ms only applies to fleet-sim (the serve layer "
-                "comparison runs a deadline-less stream)"
-            )
+            serving_kwargs["executor"] = arguments.executor
+            serving_kwargs["workers"] = arguments.workers
+        else:
+            if arguments.deadline_ms is not None:
+                parser.error(
+                    "--deadline-ms only applies to fleet-sim (the serve layer "
+                    "comparison runs a deadline-less stream)"
+                )
+            if arguments.executor is not None or arguments.workers is not None:
+                parser.error(
+                    "--executor/--workers only apply to fleet-sim (the serve "
+                    "layer comparison runs every layer on the serial executor)"
+                )
         result = _EXPERIMENTS[arguments.experiment](settings, **serving_kwargs)
     else:
         result = _EXPERIMENTS[arguments.experiment](settings)

@@ -14,7 +14,7 @@ updates.
 
 from repro.edge.device import DeviceProfile, EdgeDevice
 from repro.edge.cloud import CloudServer
-from repro.edge.inference import InferenceEngine
+from repro.edge.inference import EngineStateSnapshot, InferenceEngine, SnapshotEngine
 from repro.edge.transfer import TransferPackage, package_for_edge
 from repro.edge.magneto import MagnetoPlatform
 from repro.edge.profiler import EdgeProfiler, LatencyReport
@@ -24,6 +24,8 @@ __all__ = [
     "DeviceProfile",
     "CloudServer",
     "InferenceEngine",
+    "EngineStateSnapshot",
+    "SnapshotEngine",
     "TransferPackage",
     "package_for_edge",
     "MagnetoPlatform",

@@ -20,18 +20,30 @@ the whole embed→distance→argmin pipeline per request.  The
 The engine holds a reference to its learner rather than copied state: after
 an on-device incremental update the very next ``predict`` call serves the
 new classes with no explicit re-wiring.
+
+When serving must leave the process — the multi-process
+:class:`~repro.serving.ProcessExecutor` runs one worker per lane group —
+the live-learner reference cannot travel.  :meth:`InferenceEngine
+.state_snapshot` captures everything ``predict`` needs as one picklable
+:class:`EngineStateSnapshot` (model weights, prototype matrix, class-id
+lookup, metric, compute dtype) keyed by ``PILOTE.state_version``, and
+:class:`SnapshotEngine` rebuilds the exact batched serving path from it on
+the remote side — bit-identical predictions, no learner, no gradient
+machinery.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
-from repro.backend import get_backend
+from repro.backend import default_dtype, get_backend, precision, resolve_dtype
 from repro.exceptions import DataError, NotFittedError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports edge lazily)
+    from repro.core.config import PiloteConfig
     from repro.core.pilote import PILOTE
 
 
@@ -69,6 +81,21 @@ class InferenceEngine:
     def invalidate(self) -> None:
         """Force a prototype-cache rebuild on the next request."""
         self._cached_version = None
+
+    def warm(self) -> None:
+        """Build the serving caches ahead of the first request.
+
+        Performs exactly the refresh the first ``predict`` call would —
+        re-binding the classifier, materialising the class-id lookup and the
+        prototype matrix under the active dtype policy — so a freshly
+        deployed or checkpoint-restored device answers its first request at
+        full speed instead of paying the rebuild inside that request's
+        latency.  Counted in ``cache_refreshes`` like any other rebuild; a
+        no-op when the caches are already current.
+        """
+        self._refresh_if_stale()
+        assert self._classifier is not None
+        self._classifier.prototype_matrix()
 
     def _refresh_if_stale(self) -> None:
         """Re-bind the learner's classifier when its state version moved.
@@ -135,3 +162,118 @@ class InferenceEngine:
         logits -= logits.max(axis=1, keepdims=True)
         exp = np.exp(logits)
         return exp / exp.sum(axis=1, keepdims=True)
+
+    # ------------------------------------------------------------------ #
+    def state_snapshot(self, *, compute_dtype=None) -> "EngineStateSnapshot":
+        """Picklable snapshot of everything ``predict`` needs, sans learner.
+
+        ``compute_dtype`` is the dtype the remote replica will serve under
+        (a device profile's ``compute_dtype``, or the current policy dtype
+        when omitted); the prototype matrix is materialised in that dtype so
+        the remote GEMMs are bit-identical to the live engine's.  The
+        snapshot is keyed by the learner's ``state_version`` — executors
+        compare it against the live version and re-ship on staleness (an
+        incremental update or a fresh broadcast bumps the version).
+        """
+        dtype = (
+            resolve_dtype(compute_dtype) if compute_dtype is not None else default_dtype()
+        )
+        with precision(dtype):
+            self._refresh_if_stale()
+            assert self._classifier is not None and self._class_ids is not None
+            prototypes = np.array(self._classifier.prototype_matrix(), copy=True)
+        learner = self._learner
+        return EngineStateSnapshot(
+            state_version=learner.state_version,
+            batch_size=self.batch_size,
+            metric=self._classifier.metric,
+            compute_dtype=str(prototypes.dtype),
+            class_ids=self._class_ids.copy(),
+            prototypes=prototypes,
+            model_state={
+                key: np.array(value, copy=True)
+                for key, value in learner.model.state_dict().items()
+            },
+            input_dim=learner.model.input_dim,
+            config=learner.config,
+        )
+
+
+@dataclass(frozen=True)
+class EngineStateSnapshot:
+    """Serializable serving state of one :class:`InferenceEngine`.
+
+    Plain numpy payloads plus the (picklable) learner configuration —
+    everything :class:`SnapshotEngine` needs to reproduce the engine's
+    predictions in another process, and nothing else (no exemplar support
+    set, no optimizer state, no live object references).  ``state_version``
+    is the staleness key: a snapshot taken at version *v* serves exactly
+    what the live engine served at *v*.
+    """
+
+    state_version: int
+    batch_size: int
+    metric: str
+    compute_dtype: str
+    class_ids: np.ndarray
+    prototypes: np.ndarray
+    model_state: Dict[str, np.ndarray]
+    input_dim: int
+    config: "PiloteConfig"
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate payload size shipped over IPC."""
+        arrays = [self.class_ids, self.prototypes, *self.model_state.values()]
+        return int(sum(a.nbytes for a in arrays))
+
+
+class SnapshotEngine:
+    """Batched serving rebuilt from an :class:`EngineStateSnapshot`.
+
+    The remote counterpart of :class:`InferenceEngine`: same chunked
+    embed → distance-GEMM → ``take`` pipeline, same backend kernels, but
+    every piece of state comes from the snapshot instead of a live learner.
+    ``predict`` runs under the snapshot's ``compute_dtype`` so the outputs
+    are bit-identical to the engine the snapshot was taken from.
+    """
+
+    def __init__(self, snapshot: EngineStateSnapshot) -> None:
+        from repro.core.embedding import EmbeddingNetwork  # deferred: edge <- core cycle
+
+        self.state_version = snapshot.state_version
+        self.batch_size = snapshot.batch_size
+        self._metric = snapshot.metric
+        self._dtype = resolve_dtype(snapshot.compute_dtype)
+        self._class_ids = np.asarray(snapshot.class_ids, dtype=np.int64)
+        self._prototypes = snapshot.prototypes
+        with precision(self._dtype):
+            model = EmbeddingNetwork(snapshot.input_dim, config=snapshot.config)
+            model.load_state_dict(snapshot.model_state)
+        model.eval()
+        self._model = model
+        self.windows_served = 0
+        self.batches_served = 0
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        """Class ids for a batch of raw feature windows (snapshot state)."""
+        with precision(self._dtype):
+            backend = get_backend()
+            windows = backend.asarray(windows)
+            if windows.ndim == 1:
+                windows = windows[None, :]
+            if windows.shape[0] == 0:
+                return np.empty(0, dtype=np.int64)
+            chunks = []
+            for start in range(0, windows.shape[0], self.batch_size):
+                chunk = windows[start:start + self.batch_size]
+                embeddings = self._model.embed(chunk)
+                chunks.append(
+                    backend.pairwise_distances(
+                        embeddings, self._prototypes, metric=self._metric
+                    )
+                )
+                self.batches_served += 1
+            distances = np.concatenate(chunks, axis=0)
+        self.windows_served += int(windows.shape[0])
+        return self._class_ids.take(np.argmin(distances, axis=1))

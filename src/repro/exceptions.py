@@ -58,3 +58,14 @@ class DeadlineExceededError(ServingError):
 
 class RoutingError(ServingError, ConfigurationError):
     """Raised when requests cannot be routed (unknown policy, resized fleet)."""
+
+
+class ExecutorError(ServingError):
+    """Raised when a serving executor cannot run a batch (missing engine
+    snapshot, unusable worker pool, unknown executor name)."""
+
+
+class WorkerDiedError(ExecutorError):
+    """Raised through a request's future when the worker process executing
+    its batch died before answering; the batch is neither retried nor
+    dropped silently (counted in ``RoutingReport.total_failed``)."""

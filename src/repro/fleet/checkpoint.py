@@ -187,5 +187,12 @@ class CheckpointStore:
         # keep the exact on-device dtype (and serving stays bit-identical).
         with replacement.edge.precision():
             learner = load_pilote(checkpoint.path)
-        replacement.adopt(learner)
+            replacement.adopt(learner)
+            # Warm the serving caches now, not inside the first request: a
+            # restored device usually replaces one that was mid-traffic, so
+            # it should answer at full speed immediately (the rebuild is
+            # counted in the engine's cache_refreshes as usual).
+            engine = replacement.edge.engine
+            assert engine is not None
+            engine.warm()
         return replacement

@@ -56,6 +56,25 @@ class FleetDevice:
         return self.edge.profile
 
     @property
+    def engine(self):
+        """The serving engine attached to the underlying edge device.
+
+        Exposed so remote executors can snapshot it
+        (:meth:`~repro.edge.inference.InferenceEngine.state_snapshot`);
+        ``None`` until a package is deployed.
+        """
+        return self.edge.engine
+
+    @property
+    def serving_dtype(self) -> str:
+        """Dtype :meth:`serve` runs under — the profile's compute dtype.
+
+        Remote executors replicate it so off-process predictions stay
+        bit-identical to the device's own.
+        """
+        return self.profile.compute_dtype
+
+    @property
     def is_deployed(self) -> bool:
         return self.learner is not None and self.edge.engine is not None
 

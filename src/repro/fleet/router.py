@@ -61,6 +61,12 @@ class DeviceStats:
     #: (the legacy tick drain only tracks the aggregate) for percentile views.
     #: Bounded to the scheduler's most recent LATENCY_HISTORY_CAP requests.
     latencies: List[float] = field(default_factory=list, repr=False)
+    #: Which clock the timing columns are on: ``"simulated"`` (the default —
+    #: wall time scaled by ``relative_compute``, devices modeled as draining
+    #: in parallel) or ``"wall"`` (measured elapsed time where the batch
+    #: actually ran, set by the concurrent serving executors).  Lets reports
+    #: distinguish modeled from measured latency.
+    clock: str = "simulated"
 
     @property
     def throughput(self) -> float:
@@ -105,6 +111,21 @@ class RoutingReport:
     total_expired: int = 0
     total_rejected: int = 0
     total_failed: int = 0
+    #: All-time count of requests resolved one way or another — served +
+    #: expired (incl. rejected) + failed.  Unlike the per-device latency
+    #: history (bounded to ``LATENCY_HISTORY_CAP`` samples), this never
+    #: trims, which keeps :meth:`slo_attainment` consistent on long runs.
+    #: ``0`` (reports built before the counter existed) falls back to the
+    #: sum of the totals above.
+    resolved_requests: int = 0
+
+    @property
+    def clock(self) -> str:
+        """Clock the timing columns are on: ``simulated``/``wall``/``mixed``."""
+        modes = {stats.clock for stats in self.per_device.values()}
+        if not modes:
+            return "simulated"
+        return modes.pop() if len(modes) == 1 else "mixed"
 
     @property
     def makespan_seconds(self) -> float:
@@ -194,23 +215,39 @@ class RoutingReport:
     def slo_attainment(self, target_seconds: float) -> float:
         """Fraction of resolved requests answered within ``target_seconds``.
 
-        A latency-target SLO over the per-request latency history (the
-        event-loop scheduler's most recent window per device — see
-        ``repro.serving.scheduler.LATENCY_HISTORY_CAP``); expired and failed
-        requests count against the SLO.  ``1.0`` when nothing was resolved.
-        Note the window: latency samples are bounded per device while the
-        expired/failed counters are all-time, so on runs long enough to trim
-        the history the ratio over-weights expiries; read it per reporting
-        interval (fresh client) for exact long-horizon accounting.
+        A latency-target SLO; expired and failed requests count against it,
+        ``1.0`` when nothing was resolved.  Latency samples are bounded per
+        device (the event-loop scheduler's most recent window — see
+        ``repro.serving.scheduler.LATENCY_HISTORY_CAP``) while the outcome
+        counters are all-time, so the windowed samples only *estimate* the
+        served-within rate; that rate is then weighted by the all-time
+        served and :attr:`resolved_requests` counters.  This keeps the
+        ratio consistent on runs long enough to trim the history — the
+        window can no longer over-weight expiries against a truncated
+        served count.  Exact (not estimated) for event-loop reports whose
+        history has not trimmed; legacy tick-drain reports keep no
+        per-request history at all, so with nothing expired or failed they
+        stay vacuously ``1.0`` (as before), and otherwise the absent
+        samples contribute zero served-within credit (also as before).
         """
+        sampled = 0
         within = 0
-        total = self.total_expired + self.total_failed
         for stats in self.per_device.values():
             if stats.latencies:
                 samples = np.asarray(stats.latencies)
                 within += int(np.count_nonzero(samples <= target_seconds))
-                total += samples.size
-        return within / total if total else 1.0
+                sampled += samples.size
+        if sampled == 0 and self.total_expired + self.total_failed == 0:
+            # No latency view and nothing lost: vacuously attained (matches
+            # legacy-router reports, which keep no per-request history).
+            return 1.0
+        resolved = self.resolved_requests or (
+            self.total_requests + self.total_expired + self.total_failed
+        )
+        if resolved == 0:
+            return 1.0
+        served_within = within / sampled * self.total_requests if sampled else 0.0
+        return served_within / resolved
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -424,6 +461,7 @@ class Router:
             total_expired=total_expired,
             total_rejected=total_rejected,
             total_failed=total_failed,
+            resolved_requests=total_requests + total_expired + total_failed,
         )
 
 
@@ -443,6 +481,7 @@ def _merged_stats(base: DeviceStats, extra: DeviceStats) -> DeviceStats:
         deadline_requests=base.deadline_requests + extra.deadline_requests,
         deadline_misses=base.deadline_misses + extra.deadline_misses,
         latencies=base.latencies + extra.latencies,
+        clock=base.clock if base.clock == extra.clock else "mixed",
     )
 
 

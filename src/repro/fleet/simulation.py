@@ -51,18 +51,26 @@ class FleetSimulationResult:
     routing_policy: str = "hash"
     scheduling_order: str = "fifo"
     deadline_ms: Optional[float] = None
+    executor_name: str = "serial"
 
     def to_text(self) -> str:
+        # Concurrent executors measure real elapsed time; the serial default
+        # models device-seconds on the simulated parallel clock.
+        clock_note = (
+            "measured wall clock" if self.routing.clock == "wall"
+            else "simulated, devices in parallel"
+        )
         lines = [
             "Fleet simulation: multi-device serving with staggered increments",
             "",
             f"devices: {self.n_devices}  (routing policy: {self.routing_policy}, "
-            f"scheduling: {self.scheduling_order})",
+            f"scheduling: {self.scheduling_order}, executor: {self.executor_name})",
             f"requests routed: {int(self.routing.total_requests)} "
             f"({int(self.routing.total_windows)} windows)",
             f"aggregate throughput: {self.routing.aggregate_throughput:.0f} windows/s "
-            f"(simulated, devices in parallel)",
-            f"p99 latency: {self.routing.p99_latency_seconds * 1e3:.2f} ms (simulated)",
+            f"({clock_note})",
+            f"p99 latency: {self.routing.p99_latency_seconds * 1e3:.2f} ms "
+            f"({self.routing.clock})",
         ]
         breakdown = self.routing.deadline_breakdown()
         if self.deadline_ms is not None or breakdown["expired"] or breakdown["missed"]:
@@ -106,6 +114,8 @@ def run(
     routing: Optional[str] = None,
     scheduling: Optional[str] = None,
     deadline_ms: Optional[float] = None,
+    executor: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> FleetSimulationResult:
     """Run one fleet simulation at the given experiment scale.
 
@@ -115,7 +125,11 @@ def run(
     ``deadline_ms`` attaches seeded per-request deadlines to the traffic
     (mean relative deadline in simulated milliseconds, mixed over
     urgent/normal/relaxed classes) so the run reports a deadline SLO
-    breakdown.
+    breakdown.  ``executor`` picks where batches execute (``"serial"``
+    inline on the simulated clock — the default — ``"thread"``, or
+    ``"process"`` for a pool of ``workers`` real worker processes; the
+    report's throughput/latency lines then carry measured wall-clock
+    numbers instead of the simulated parallel clock).
     """
     settings = settings or ExperimentSettings.default()
     if n_devices is None:
@@ -126,6 +140,17 @@ def run(
     scheduling = scheduling or "fifo"
     if deadline_ms is not None and deadline_ms <= 0:
         raise ConfigurationError(f"deadline_ms must be positive, got {deadline_ms}")
+    if deadline_ms is not None and executor not in (None, "serial"):
+        # The generated traffic anchors arrivals (and therefore absolute
+        # deadlines) on the simulated tick clock, while thread/process
+        # executors serve on the accumulating measured wall clock — mixing
+        # the two would mass-expire every request after the first drain and
+        # report a meaningless SLO.  Fail loudly instead.
+        raise ConfigurationError(
+            "deadline_ms requires the serial executor: the simulation's "
+            "arrivals/deadlines are simulated-clock quantities, while "
+            f"executor={executor!r} serves on the measured wall clock"
+        )
     rng = resolve_rng(settings.seed)
     dataset = make_dataset(settings, rng=rng)
     data_scenario = build_incremental_scenario(
@@ -178,13 +203,19 @@ def run(
         deadline_multipliers=(0.5, 1.0, 4.0),
     )
     traffic = TrafficGenerator(data_scenario.test, workload, seed=settings.seed)
-    client = serve(fleet, routing=routing, scheduling=scheduling, seed=settings.seed)
-    for tick_index, requests in enumerate(traffic.ticks()):
-        fleet.run_due_increments(tick_index)
-        client.submit_many(requests)
-        client.drain()  # per-tick drain keeps increments ordered between ticks
-    fleet.run_due_increments(max(schedule.values()))  # anything past the stream
-    routing_report = client.report()
+    client = serve(
+        fleet, routing=routing, scheduling=scheduling, seed=settings.seed,
+        executor=executor, workers=workers,
+    )
+    try:
+        for tick_index, requests in enumerate(traffic.ticks()):
+            fleet.run_due_increments(tick_index)
+            client.submit_many(requests)
+            client.drain()  # per-tick drain keeps increments ordered between ticks
+        fleet.run_due_increments(max(schedule.values()))  # anything past the stream
+        routing_report = client.report()
+    finally:
+        client.close()  # release executor worker pools, if any
 
     # 5. Fleet-level evaluation + a crash/replace round-trip on device 0.
     accuracy = fleet.accuracy_report(data_scenario.test)
@@ -230,4 +261,5 @@ def run(
         routing_policy=client.routing,
         scheduling_order=client.scheduling,
         deadline_ms=deadline_ms,
+        executor_name=client.executor,
     )

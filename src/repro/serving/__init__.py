@@ -19,6 +19,19 @@ front door:
   order or ``"edf"`` earliest-deadline-first, plus deadline admission
   control and per-device SLO accounting
   (``DeviceStats.deadline_misses``, ``RoutingReport.slo_attainment``);
+* **executor** (:mod:`repro.serving.executor`) — pluggable batch execution
+  behind the scheduler (:data:`EXECUTORS`): :class:`SerialExecutor`
+  (inline on the simulated clock, the default and bit-exact historical
+  behaviour), :class:`ThreadExecutor` (shared-memory pool for I/O-shaped
+  lanes) and :class:`ProcessExecutor` (persistent worker OS processes, one
+  per lane group, serving shipped
+  :class:`~repro.edge.inference.EngineStateSnapshot` replicas keyed by
+  ``PILOTE.state_version``; futures complete from an IPC result queue, and
+  a dead worker fails its batches with a typed
+  :class:`~repro.exceptions.WorkerDiedError` before being respawned).
+  Concurrent executors report *measured* wall-clock latency
+  (``DeviceStats.clock == "wall"``) instead of the modeled simulated
+  clock;
 * **routing** (:mod:`repro.serving.routing`) — pluggable
   :class:`RoutingPolicy` implementations (seeded ``"hash"``,
   ``"least-loaded"``, power-of-two-choices ``"p2c"``), selectable per
@@ -32,14 +45,29 @@ front door:
 against the legacy router and the p99 latency win of ``least-loaded`` over
 ``hash`` under Zipf-skewed traffic; ``benchmarks/bench_deadlines.py`` gates
 that EDF answers strictly more requests within deadline than FIFO on an
-overloaded Zipf workload at no extra per-request overhead.
+overloaded Zipf workload at no extra per-request overhead;
+``benchmarks/bench_workers.py`` gates the serial executor's bit-exactness
+with the legacy path and the process executor's real wall-clock speedup on
+multi-core hardware.
 """
 
 from repro.exceptions import (
     DeadlineExceededError,
+    ExecutorError,
     InvalidRequestError,
     RoutingError,
     ServingError,
+    WorkerDiedError,
+)
+from repro.serving.executor import (
+    EXECUTORS,
+    Executor,
+    LaneResult,
+    LaneTask,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
 )
 from repro.serving.client import (
     IN_PROCESS_PROFILE,
@@ -79,6 +107,14 @@ __all__ = [
     "serve",
     "ServingClient",
     "SCHEDULING_ORDERS",
+    "EXECUTORS",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "LaneTask",
+    "LaneResult",
+    "make_executor",
     "PredictRequest",
     "PredictResponse",
     "Prediction",
@@ -106,4 +142,6 @@ __all__ = [
     "InvalidRequestError",
     "DeadlineExceededError",
     "RoutingError",
+    "ExecutorError",
+    "WorkerDiedError",
 ]

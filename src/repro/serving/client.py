@@ -43,6 +43,7 @@ from repro.edge.magneto import MagnetoPlatform
 from repro.exceptions import RoutingError, ServingError
 from repro.fleet.coordinator import FleetCoordinator, FleetDevice
 from repro.fleet.router import RoutingReport
+from repro.serving.executor import Executor
 from repro.serving.protocol import PendingResult, PredictRequest
 from repro.serving.routing import RoutingPolicy
 from repro.serving.scheduler import EventLoopScheduler
@@ -64,8 +65,15 @@ class LocalServingDevice:
 
     Gives bare learners, engines and edge devices the interface the
     event-loop scheduler expects from a fleet device: ``infer``,
-    ``device_id`` and ``profile``.
+    ``device_id`` and ``profile``.  ``engine`` optionally names the
+    :class:`~repro.edge.inference.InferenceEngine` behind the callable so
+    the multi-process executor can snapshot it for remote serving
+    (``serve(...)`` wires it automatically); ``serving_dtype`` stays
+    ``None`` because in-process adapters serve under the ambient dtype
+    policy rather than a device profile's pinned dtype.
     """
+
+    serving_dtype = None
 
     def __init__(
         self,
@@ -73,10 +81,12 @@ class LocalServingDevice:
         *,
         profile: DeviceProfile = IN_PROCESS_PROFILE,
         device_id: int = 0,
+        engine=None,
     ) -> None:
         self._infer = infer
         self.profile = profile
         self.device_id = int(device_id)
+        self.engine = engine
 
     def infer(self, windows: np.ndarray) -> np.ndarray:
         return self._infer(windows)
@@ -101,6 +111,13 @@ class ServingClient:
         the default) or ``"edf"`` (earliest-deadline-first — requests with
         the tightest deadlines are served first; see
         :mod:`repro.serving.scheduler` for the full deadline semantics).
+    executor:
+        Where batches execute — ``"serial"`` (inline on the simulated
+        clock, the default), ``"thread"`` or ``"process"`` (real
+        multi-process workers; see :mod:`repro.serving.executor`), or an
+        :class:`~repro.serving.executor.Executor` instance.  ``workers``
+        sizes the concurrent pools.  Call :meth:`close` (or use the client
+        as a context manager) to release worker pools.
     coordinator:
         The owning :class:`~repro.fleet.FleetCoordinator`, when there is one;
         enables cohort-confined routing under an active A/B rollout.
@@ -113,11 +130,14 @@ class ServingClient:
         routing: Union[str, RoutingPolicy, None] = None,
         seed: RandomState = None,
         scheduling: str = "fifo",
+        executor: Union[str, Executor, None] = None,
+        workers: Optional[int] = None,
         coordinator: Optional[FleetCoordinator] = None,
         label: str = "fleet",
     ) -> None:
         self._scheduler = EventLoopScheduler(
-            devices, routing, seed=seed, scheduling=scheduling
+            devices, routing, seed=seed, scheduling=scheduling,
+            executor=executor, workers=workers,
         )
         self._coordinator = coordinator
         self.label = label
@@ -132,6 +152,21 @@ class ServingClient:
     def scheduling(self) -> str:
         """Active queue order (``"fifo"`` or ``"edf"``)."""
         return self._scheduler.scheduling
+
+    @property
+    def executor(self) -> str:
+        """Name of the active executor (``serial``/``thread``/``process``)."""
+        return self._scheduler.executor.name
+
+    def close(self) -> None:
+        """Release the executor's worker pools (no-op for serial clients)."""
+        self._scheduler.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def scheduler(self) -> EventLoopScheduler:
@@ -216,6 +251,7 @@ class ServingClient:
             "label": self.label,
             "routing": self.routing,
             "scheduling": self.scheduling,
+            "executor": self.executor,
             "n_devices": self.n_devices,
             "pending_requests": self.pending_requests,
         }
@@ -292,6 +328,8 @@ def serve(
     routing: Union[str, RoutingPolicy, None] = None,
     seed: RandomState = None,
     scheduling: str = "fifo",
+    executor: Union[str, Executor, None] = None,
+    workers: Optional[int] = None,
 ) -> ServingClient:
     """Build a :class:`ServingClient` from any serving-capable object.
 
@@ -302,11 +340,17 @@ def serve(
     :class:`~repro.fleet.FleetDevice` or a whole
     :class:`~repro.fleet.FleetCoordinator` — every layer answers the same
     request/response protocol afterwards.  ``scheduling`` picks the queue
-    order (``"fifo"`` arrival order or ``"edf"`` earliest-deadline-first).
+    order (``"fifo"`` arrival order or ``"edf"`` earliest-deadline-first);
+    ``executor`` picks where batches run (``"serial"`` inline on the
+    simulated clock, ``"thread"``, or ``"process"`` for real multi-process
+    workers sized by ``workers``).
     """
     from repro.core.pilote import PILOTE  # deferred: core must not import serving
 
-    options = dict(routing=routing, seed=seed, scheduling=scheduling)
+    options = dict(
+        routing=routing, seed=seed, scheduling=scheduling,
+        executor=executor, workers=workers,
+    )
     if isinstance(target, FleetCoordinator):
         if not target.devices:
             raise ServingError("the fleet has no devices; provision() first")
@@ -320,18 +364,22 @@ def serve(
         return ServingClient([target], label="fleet-device", **options)
     if isinstance(target, MagnetoPlatform):
         device = LocalServingDevice(
-            target._serve_edge, profile=target.device.profile
+            target._serve_edge,
+            profile=target.device.profile,
+            engine=target.device.engine,
         )
         return ServingClient([device], label="platform", **options)
     if isinstance(target, EdgeDevice):
-        device = LocalServingDevice(target.serve, profile=target.profile)
+        device = LocalServingDevice(
+            target.serve, profile=target.profile, engine=target.engine
+        )
         return ServingClient([device], label="edge-device", **options)
     if isinstance(target, InferenceEngine):
-        device = LocalServingDevice(target.predict)
+        device = LocalServingDevice(target.predict, engine=target)
         return ServingClient([device], label="engine", **options)
     if isinstance(target, PILOTE):
         engine = target.inference_engine()
-        device = LocalServingDevice(engine.predict)
+        device = LocalServingDevice(engine.predict, engine=engine)
         return ServingClient([device], label="learner", **options)
     raise ServingError(
         f"don't know how to serve {type(target).__name__}; expected a PILOTE "

@@ -59,6 +59,20 @@ legacy router in ``benchmarks/bench_serving.py`` and
   ``(request, batch, index)``, so finishing a batch is O(1) in the number
   of requests, and per-request class-id slices materialise lazily on
   ``result()``.
+
+Batch *execution* is a pluggable seam (``executor=``, see
+:mod:`repro.serving.executor`): the scheduler prepares each lane's next
+batch (queue pop, deadline expiry, window coalescing) and completes its
+futures/stats, while the executor decides where the engine call runs —
+inline on the simulated clock (:class:`~repro.serving.executor
+.SerialExecutor`, the default and bit-exact historical behaviour), on a
+thread pool, or on persistent worker processes whose results come back
+over an IPC queue (:class:`~repro.serving.executor.ProcessExecutor`).
+Concurrent executors drain in *rounds* — one batch per non-empty lane per
+round, lanes in parallel — which preserves every per-lane ordering
+guarantee (FIFO/EDF, expiry, admission) because lanes never share state;
+their ``DeviceStats`` rows are labelled ``clock="wall"`` since the
+measured elapsed time replaces the modeled device-seconds.
 """
 
 from __future__ import annotations
@@ -66,7 +80,7 @@ from __future__ import annotations
 import heapq
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -77,6 +91,7 @@ from repro.exceptions import (
     ServingError,
 )
 from repro.fleet.router import DeviceStats, RoutingReport
+from repro.serving.executor import Executor, LaneResult, LaneTask, make_executor
 from repro.serving.protocol import PendingResult, PredictResponse
 from repro.serving.routing import RoutingPolicy, make_routing_policy
 from repro.utils.rng import RandomState, resolve_rng
@@ -369,6 +384,32 @@ class _BatchFuture(PendingResult):
             )
 
 
+class _PreparedBatch:
+    """One lane's next batch, popped/expired/coalesced and ready to execute.
+
+    The scheduler-side half of the executor seam: everything decided
+    *before* the engine call (which device, which requests survived expiry,
+    the coalesced window matrix, the simulated begin time) travels in this
+    struct so ``_complete`` can apply the outcome without re-deriving lane
+    state.  ``windows`` is ``None`` when every request expired before
+    service — there is nothing to execute, but ``n_resolved`` futures were
+    already resolved by the expiry.
+    """
+
+    __slots__ = ("position", "batch", "device", "stats", "begin", "n_resolved", "windows")
+
+    def __init__(
+        self, position, batch, device, stats, begin, n_resolved, windows=None
+    ) -> None:
+        self.position = position
+        self.batch = batch
+        self.device = device
+        self.stats = stats
+        self.begin = begin
+        self.n_resolved = n_resolved
+        self.windows = windows
+
+
 class EventLoopScheduler:
     """Future-completing scheduler over a live list of fleet devices.
 
@@ -390,6 +431,15 @@ class EventLoopScheduler:
         ``"fifo"`` (arrival order, the default) or ``"edf"``
         (earliest-deadline-first; see the module docstring for the full
         deadline semantics).
+    executor:
+        Where batches execute — an :class:`~repro.serving.executor.Executor`
+        instance or registry name (``"serial"``/``"thread"``/``"process"``);
+        ``None`` means the inline serial executor, bit-exact with the
+        historical scheduler.  Queue order, routing, rollouts and deadline
+        accounting compose unchanged with every executor.
+    workers:
+        Pool size for the concurrent executors (default: one per CPU core,
+        capped at the lane count); only valid with an executor *name*.
     """
 
     def __init__(
@@ -399,6 +449,8 @@ class EventLoopScheduler:
         *,
         seed: RandomState = None,
         scheduling: str = "fifo",
+        executor: Union[str, Executor, None] = None,
+        workers: Optional[int] = None,
     ) -> None:
         if not devices:
             raise RoutingError("the scheduler needs at least one device")
@@ -412,6 +464,9 @@ class EventLoopScheduler:
         self.policy = make_routing_policy(policy)
         self.policy.bind(self._n_lanes, resolve_rng(seed))
         self.scheduling = scheduling
+        self._executor = make_executor(executor, workers=workers)
+        self._executor.bind(self._devices)
+        self._wall_clock = self._executor.clock == "wall"
         lane_class = _LANE_CLASSES[scheduling]
         self._lanes = [lane_class() for _ in range(self._n_lanes)]
         self._edf = scheduling == "edf"
@@ -421,9 +476,12 @@ class EventLoopScheduler:
         # per-device stats rows) — feeds the balancing policies' rate term.
         self._lane_served = np.zeros(self._n_lanes, dtype=np.float64)
         self._lane_busy = np.zeros(self._n_lanes, dtype=np.float64)
+        # Rows are labelled with the executor's clock up front so reports
+        # stay consistently "wall"/"simulated" even for devices that only
+        # ever expired or failed their traffic.
+        self._clock = self._executor.clock
         self._stats: Dict[int, DeviceStats] = {
-            d.device_id: DeviceStats(device_id=d.device_id, profile=d.profile.name)
-            for d in self._devices
+            d.device_id: self._stats_row(d) for d in self._devices
         }
         self._total_requests = 0   # served (matches the per-device rows)
         self._total_windows = 0
@@ -441,6 +499,21 @@ class EventLoopScheduler:
     @property
     def n_devices(self) -> int:
         return len(self._devices)
+
+    @property
+    def executor(self) -> Executor:
+        """The executor batches run on (serial/thread/process)."""
+        return self._executor
+
+    def close(self) -> None:
+        """Release the executor's worker pools (idempotent)."""
+        self._executor.close()
+
+    def __enter__(self) -> "EventLoopScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def pending_requests(self) -> int:
@@ -467,6 +540,14 @@ class EventLoopScheduler:
             )
             return self._pending_counts + backlog * rates
         return self._pending_counts.copy()
+
+    def _stats_row(self, device) -> DeviceStats:
+        """A fresh stats row for a device, on this scheduler's clock."""
+        return DeviceStats(
+            device_id=device.device_id,
+            profile=device.profile.name,
+            clock=self._clock,
+        )
 
     # ------------------------------------------------------------------ #
     def replace_device(self, device_id: int, replacement) -> None:
@@ -640,15 +721,25 @@ class EventLoopScheduler:
     def drain(self) -> int:
         """Run the event loop until every queued request is resolved.
 
-        Lanes are processed in simulated-clock order: the heap always pops
-        the lane whose next batch starts earliest (``max(available_at, batch
-        arrival)``), mirroring devices draining their queues in parallel.
-        Done-callbacks may submit follow-up requests mid-drain (including
-        onto lanes already drained) and may even re-enter ``drain()``; the
-        loop re-scans the lanes until no queued request remains.  Returns
+        With the (default) serial executor, lanes are processed in
+        simulated-clock order: the heap always pops the lane whose next
+        batch starts earliest (``max(available_at, batch arrival)``),
+        mirroring devices draining their queues in parallel.  With a
+        concurrent executor the loop instead runs *rounds* — one batch per
+        non-empty lane, executed in parallel, futures completed from the
+        executor's results — which preserves every per-lane ordering
+        guarantee because lanes share no queue state.  Done-callbacks may
+        submit follow-up requests mid-drain (including onto lanes already
+        drained) and may even re-enter ``drain()``; both loops re-scan the
+        lanes until no queued request remains (the concurrent loop applies
+        a whole round's clock/stats bookkeeping *before* firing any of the
+        round's completion callbacks, so a re-entrant drain never sees a
+        lane clock that an in-flight result is about to move).  Returns
         the number of requests this call resolved — answered, expired past
         their deadline, or failed (``report()`` separates the three).
         """
+        if self._executor.concurrent:
+            return self._drain_concurrent()
         resolved = 0
         while True:
             heap = []
@@ -671,51 +762,156 @@ class EventLoopScheduler:
             # A done-callback may have enqueued onto a lane that already left
             # the heap — the outer loop re-scans until everything is served.
 
+    def _drain_concurrent(self) -> int:
+        """Round-based drain: one batch per non-empty lane, lanes parallel.
+
+        In wall-clock mode, completions are stamped from one shared
+        measured clock (anchored at this drain's start, continuing from the
+        latest lane completion so the timeline is monotone across drains)
+        rather than per-lane sums of in-worker service times: a lane that
+        waited for a busy worker *completes later*, so the makespan — and
+        the aggregate throughput derived from it — reflects what the pool
+        actually achieved, not a hypothetical fully-parallel fleet.  Idle
+        time between drains is excluded (the anchor resets per drain), so
+        the clock only advances while serving.  ``arrival_seconds`` keeps
+        its usual role as a release floor (``begin = max(available,
+        arrival)``) — on *this* clock, exactly as on the simulated one —
+        so streams carrying large simulated arrival offsets should be
+        replayed with zeroed arrivals when measuring raw pool throughput
+        (every shipped workload path does).
+        """
+        resolved = 0
+        origin = time.perf_counter()
+        base = float(self._available_at.max()) if self._n_lanes else 0.0
+        while True:
+            prepared_round: List[_PreparedBatch] = []
+            any_work = False
+            for position, lane in enumerate(self._lanes):
+                if not lane:
+                    continue
+                prepared = self._prepare_next(position)
+                if prepared is None:
+                    continue
+                any_work = True
+                resolved += prepared.n_resolved
+                if prepared.windows is not None:
+                    prepared_round.append(prepared)
+            if not prepared_round:
+                if any_work:
+                    continue  # the whole round expired; lanes may hold more
+                return resolved
+            results = self._executor.run(
+                [LaneTask(p.position, p.windows) for p in prepared_round]
+            )
+            by_position = {p.position: p for p in prepared_round}
+            measured_now = base + (time.perf_counter() - origin)
+            # Two passes: book every result's clock/stats first, then fire
+            # the completions.  A done-callback may re-enter drain(); by the
+            # time it can run, every lane clock already reflects this whole
+            # round, so the inner drain neither executes against a stale
+            # _available_at nor gets rewound by the remaining completions.
+            finishes = [
+                self._complete(
+                    by_position[result.position], result, measured_now, fire=False
+                )
+                for result in results
+            ]
+            for batch, outputs, device_id, completion, error in finishes:
+                batch.finish(outputs, device_id, completion, error=error)
+
     def _execute_next(self, position: int) -> int:
         """Serve one queued batch on the device currently holding the lane."""
-        batch = self._lanes[position].pop(self._available_at[position])
-        if batch is None:
+        prepared = self._prepare_next(position)
+        if prepared is None:
             # A re-entrant drain (from a done-callback resolving a future)
             # already served this lane; the outer heap entry is stale.
             return 0
+        if prepared.windows is not None:
+            result = self._executor.run(
+                [LaneTask(prepared.position, prepared.windows)]
+            )[0]
+            self._complete(prepared, result)
+        return prepared.n_resolved
+
+    def _prepare_next(self, position: int) -> Optional["_PreparedBatch"]:
+        """Pop, expire and coalesce a lane's next batch ahead of execution.
+
+        Returns ``None`` when the lane is empty; a prepared batch whose
+        ``windows`` is ``None`` when every request expired before service
+        (nothing to execute, but ``n_resolved`` futures were resolved).
+        """
+        batch = self._lanes[position].pop(self._available_at[position])
+        if batch is None:
+            return None
         n_resolved = len(batch.requests)
         self._pending_counts[position] -= n_resolved
         device = self._devices[position]
         # setdefault: a replacement device (crash/restore) may carry a new
         # id; it inherits the lane but gets its own stats row.
-        stats = self._stats.setdefault(
-            device.device_id,
-            DeviceStats(device_id=device.device_id, profile=device.profile.name),
-        )
-        arrival = batch.arrival
-        begin = max(self._available_at[position], arrival)
+        stats = self._stats.setdefault(device.device_id, self._stats_row(device))
+        begin = max(self._available_at[position], batch.arrival)
         requests = batch.requests
         if batch.has_deadlines:
             requests = self._expire(batch, begin)
             if not requests:
-                return n_resolved
+                return _PreparedBatch(position, batch, device, stats, begin, n_resolved)
         windows = (
             requests[0].features
             if len(requests) == 1
             else np.concatenate([r.features for r in requests], axis=0)
         )
+        return _PreparedBatch(
+            position, batch, device, stats, begin, n_resolved, windows
+        )
 
-        start = time.perf_counter()
-        try:
-            outputs = device.infer(windows)
-        except Exception as error:  # typed errors travel through the futures
+    def _complete(
+        self,
+        prepared: "_PreparedBatch",
+        result: LaneResult,
+        measured_now: Optional[float] = None,
+        fire: bool = True,
+    ):
+        """Apply one executed batch's outcome: clock, stats, futures.
+
+        With ``fire=False`` the bookkeeping is applied but the batch is
+        *not* finished; the ``(batch, outputs, device_id, completion,
+        error)`` finish arguments are returned so the concurrent drain can
+        book a whole round before any done-callback runs.
+        """
+        batch = prepared.batch
+        device = prepared.device
+        stats = prepared.stats
+        position = prepared.position
+        begin = prepared.begin
+        requests = batch.requests
+        if result.error is not None:
             # Failed requests are neither served nor expired: they stay out
             # of total_requests (which must keep matching the per-device
             # rows) and are reported in total_failed.
             self._total_failed += len(requests)
-            batch.finish(None, device.device_id, begin, error=error)
-            return n_resolved
-        wall = time.perf_counter() - start
-        service = wall / device.profile.relative_compute
-        completion = begin + service
+            if not fire:
+                return (batch, None, device.device_id, begin, result.error)
+            batch.finish(None, device.device_id, begin, error=result.error)
+            return None
+        wall = result.wall
+        if self._wall_clock:
+            # Measured mode: no modeled relative_compute scaling.  The
+            # batch completes at the shared measured clock reading (which
+            # includes time spent waiting for a busy worker — lanes
+            # outnumbering workers must not look fully parallel); the
+            # in-worker elapsed time is still what counts as busy compute.
+            completion = (
+                max(begin, measured_now) if measured_now is not None
+                else begin + wall
+            )
+            service = wall
+        else:
+            service = wall / device.profile.relative_compute
+            completion = begin + service
         self._available_at[position] = completion
         stats.available_at = completion  # feeds RoutingReport.makespan_seconds
 
+        windows = prepared.windows
         n_windows = int(windows.shape[0])
         stats.requests += len(requests)
         stats.windows += n_windows
@@ -724,7 +920,7 @@ class EventLoopScheduler:
         stats.wall_seconds += wall
         stats.max_queue_depth = max(
             stats.max_queue_depth,
-            len(requests) + (1 if begin > arrival else 0),
+            len(requests) + (1 if begin > batch.arrival else 0),
         )
         if batch.has_deadlines:
             n_deadline = 0
@@ -739,7 +935,7 @@ class EventLoopScheduler:
             stats.deadline_misses += n_missed
         self._lane_served[position] += len(requests)
         self._lane_busy[position] += service
-        latency = completion - arrival
+        latency = completion - batch.arrival
         stats.total_latency_seconds += latency * len(requests)
         latencies = stats.latencies
         latencies.extend([latency] * len(requests))
@@ -747,8 +943,10 @@ class EventLoopScheduler:
             del latencies[: len(latencies) - LATENCY_HISTORY_CAP]
         self._total_requests += len(requests)
         self._total_windows += n_windows
-        batch.finish(outputs, device.device_id, completion)
-        return n_resolved
+        if not fire:
+            return (batch, result.outputs, device.device_id, completion, None)
+        batch.finish(result.outputs, device.device_id, completion)
+        return None
 
     def _expire(self, batch: _Batch, begin: float) -> List:
         """Fail queued requests whose deadline passed before service began.
@@ -785,12 +983,17 @@ class EventLoopScheduler:
         matches the sum of the per-device rows — expired, admission-rejected
         and failed requests are reported in ``total_expired`` /
         ``total_rejected`` / ``total_failed`` instead.
+        ``resolved_requests`` is the all-time total across all four
+        outcomes; ``slo_attainment`` weighs its windowed latency samples by
+        it so long runs (past ``LATENCY_HISTORY_CAP``) stay consistent.
         """
+        total_expired = self._total_expired + self._total_rejected
         return RoutingReport(
             per_device=dict(self._stats),
             total_requests=self._total_requests,
             total_windows=self._total_windows,
-            total_expired=self._total_expired + self._total_rejected,
+            total_expired=total_expired,
             total_rejected=self._total_rejected,
             total_failed=self._total_failed,
+            resolved_requests=self._total_requests + total_expired + self._total_failed,
         )

@@ -258,6 +258,23 @@ class TestCheckpointStore:
         assert restored.edge.storage_used > 0
         assert np.array_equal(device.infer(pool[:200]), restored.infer(pool[:200]))
 
+    def test_restore_warms_the_serving_cache(self, fleet, pool, tmp_path):
+        """A restored device's engine is hot before its first request."""
+        device = fleet.device(1)
+        store = CheckpointStore(tmp_path)
+        restored = store.restore(store.save(device))
+        engine = restored.edge.engine
+        info = engine.cache_info()
+        # The warm-up rebuild already ran (and is accounted for) at restore
+        # time, so the first request pays no cache refresh.
+        assert info["cache_refreshes"] == 1
+        assert info["cached_classes"] > 0
+        before = engine.cache_info()["cache_refreshes"]
+        outputs = restored.infer(pool[:64])
+        assert engine.cache_info()["cache_refreshes"] == before
+        # Warming must not perturb the bit-exact round-trip.
+        assert np.array_equal(device.infer(pool[:64]), outputs)
+
     def test_restore_by_device_id_uses_latest(self, fleet, tmp_path):
         store = CheckpointStore(tmp_path)
         store.save(fleet.device(0))
