@@ -305,7 +305,7 @@ def test_end_to_end_learn_new_classes_dtype_speedup(report):
 
 
 if __name__ == "__main__":
-    def _report(name, text):
+    def _report(name, text, data=None):
         print()
         print(text)
         return name

@@ -174,7 +174,7 @@ def test_edf_overhead_within_serving_gate(report):
 
 
 if __name__ == "__main__":
-    def _report(name, text):
+    def _report(name, text, data=None):
         print()
         print(text)
         return name

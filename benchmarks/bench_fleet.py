@@ -195,7 +195,7 @@ def test_checkpoint_roundtrip_exact(report):
 
 
 if __name__ == "__main__":
-    def _report(name, text):
+    def _report(name, text, data=None):
         print()
         print(text)
         return name

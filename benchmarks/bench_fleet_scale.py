@@ -1,0 +1,224 @@
+"""Benchmarks of the million-device fleet machinery.
+
+Three gates, all on a serving-only learner (no gradient training, so the
+benchmark isolates the coordination layer itself):
+
+1. **Memory sub-linearity** — a hierarchical fleet holds one copy-on-write
+   template per region instead of one learner per device, so growing the
+   fleet 100× (10k → 1M devices) must grow peak allocation far less than
+   100×; a flat fleet at small scale is measured alongside to show the
+   per-device cost the pooling removes.
+2. **Delta proportionality** — after refining K of C classes, the snapshot
+   delta must carry exactly K prototype rows and a payload that is a small
+   fraction of the full snapshot, and applying it must reproduce the target
+   snapshot bit for bit.  This is what keeps broadcast re-syncs and worker
+   re-shipping O(changed classes).
+3. **Small-fleet bit-exactness** — the hierarchical coordinator with every
+   device materialised must serve the exact predictions (and device
+   assignments) of the flat coordinator under the same seeds, while shipping
+   one package per region instead of one per device.
+
+Each gate also emits ``results/<name>.json`` with the measured numbers so CI
+artifacts are machine-readable.
+
+Run via pytest (``python -m pytest benchmarks/bench_fleet_scale.py -q -s``)
+or directly (``PYTHONPATH=src python benchmarks/bench_fleet_scale.py``).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import numpy as np
+
+from repro.backend import precision
+from repro.core.config import PiloteConfig
+from repro.core.embedding import EmbeddingNetwork
+from repro.core.pilote import PILOTE
+from repro.edge.device import DeviceProfile
+from repro.edge.transfer import package_for_edge
+from repro.fleet import FleetCoordinator, HierarchicalFleetCoordinator
+from repro.serving import PredictRequest, serve
+
+SIM_NODE = DeviceProfile(
+    "sim-node", storage_bytes=256 * 2**20, memory_bytes=2**30, relative_compute=1.0
+)
+
+CONFIG = PiloteConfig(hidden_dims=(64, 32), embedding_dim=16, cache_size=600, seed=0)
+N_FEATURES = 40
+
+
+def make_serving_learner(n_classes: int = 5, per_class: int = 120) -> PILOTE:
+    """A pre-trained-looking learner built without gradient training."""
+    rng = np.random.default_rng(0)
+    learner = PILOTE(CONFIG, seed=0)
+    learner.model = EmbeddingNetwork(N_FEATURES, config=CONFIG, rng=0)
+    learner._old_classes = list(range(n_classes))
+    for class_id in range(n_classes):
+        learner.exemplars.set_exemplars(
+            class_id, rng.normal(size=(per_class, N_FEATURES))
+        )
+    learner._refresh_prototypes()
+    return learner
+
+
+def _peak_bytes(build) -> int:
+    """Peak traced allocation while ``build()`` runs."""
+    tracemalloc.start()
+    try:
+        build()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
+def test_memory_sublinear_in_devices(report):
+    """100× more devices must cost far less than 100× the memory."""
+    with precision("edge"):
+        package = package_for_edge(make_serving_learner())
+
+        def build_hier(n_devices: int) -> None:
+            fleet = HierarchicalFleetCoordinator(CONFIG, profiles=(SIM_NODE,), seed=0)
+            fleet.provision(n_devices)
+            fleet.deploy(package)
+            fleet.serving_lanes()
+            fleet.lane_map()
+
+        def build_flat(n_devices: int) -> None:
+            fleet = FleetCoordinator(CONFIG, profiles=(SIM_NODE,), seed=0)
+            fleet.provision(n_devices)
+            fleet.deploy(package)
+
+        flat_small = _peak_bytes(lambda: build_flat(200))
+        hier_small = _peak_bytes(lambda: build_hier(200))
+        hier_10k = _peak_bytes(lambda: build_hier(10_000))
+        hier_1m = _peak_bytes(lambda: build_hier(1_000_000))
+
+    ratio = hier_1m / max(hier_10k, 1)
+    report(
+        "bench_fleet_scale_memory",
+        "hierarchical fleet peak allocation (provision + deploy + lanes)\n"
+        f"  flat,         200 devices: {flat_small / 2**20:10.1f} MB\n"
+        f"  hierarchical, 200 devices: {hier_small / 2**20:10.1f} MB\n"
+        f"  hierarchical, 10k devices: {hier_10k / 2**20:10.1f} MB\n"
+        f"  hierarchical,  1M devices: {hier_1m / 2**20:10.1f} MB\n"
+        f"  10k -> 1M growth:          {ratio:10.1f}x (devices grew 100x)",
+        data={
+            "flat_200_bytes": flat_small,
+            "hier_200_bytes": hier_small,
+            "hier_10k_bytes": hier_10k,
+            "hier_1m_bytes": hier_1m,
+            "growth_10k_to_1m": ratio,
+        },
+    )
+    assert ratio < 50.0  # sub-linear: 100x devices, < 50x memory
+    assert hier_small < flat_small / 5  # pooling removes the per-device copies
+
+
+def test_delta_bytes_proportional_to_changed_classes(report):
+    """A K-class refinement re-syncs O(K) rows, not the full engine state."""
+    n_classes = 8
+    with precision("edge"):
+        learner = make_serving_learner(n_classes=n_classes)
+        rng = np.random.default_rng(1)
+        probe = rng.normal(size=(256, N_FEATURES))
+        rows = []
+        for k in (1, 2, 4):
+            base = learner.inference_engine().state_snapshot()
+            for class_id in range(k):
+                learner.refine_prototype(
+                    class_id, rng.normal(size=(6, N_FEATURES)) + class_id
+                )
+            target = learner.inference_engine().state_snapshot()
+            delta = target.diff(base)
+            rebuilt = base.apply_delta(delta)
+            exact = bool(
+                np.array_equal(rebuilt.prototypes, target.prototypes)
+                and np.array_equal(rebuilt.class_ids, target.class_ids)
+            )
+            rows.append((k, delta, target.nbytes, exact))
+
+    lines = [f"snapshot delta payload vs full snapshot ({n_classes} classes)"]
+    data = {"full_snapshot_bytes": rows[0][2], "n_classes": n_classes}
+    for k, delta, full_nbytes, exact in rows:
+        lines.append(
+            f"  {k} class(es) refined: {delta.n_changed} rows, "
+            f"{delta.nbytes:6d} B vs {full_nbytes} B full "
+            f"({delta.nbytes / full_nbytes:7.2%}), apply exact: {exact}"
+        )
+        data[f"delta_bytes_k{k}"] = delta.nbytes
+        data[f"delta_rows_k{k}"] = delta.n_changed
+        assert delta.n_changed == k
+        assert exact
+        assert delta.nbytes < full_nbytes * 0.05
+    report("bench_fleet_scale_delta", "\n".join(lines), data=data)
+
+
+def test_small_fleet_bit_exact_with_flat(report):
+    """Regional serving is a pure optimisation: flat predictions, fewer bytes."""
+    n_devices, n_regions = 8, 4
+    with precision("edge"):
+        package = package_for_edge(make_serving_learner())
+        flat = FleetCoordinator(CONFIG, profiles=(SIM_NODE,), seed=11)
+        flat.provision(n_devices)
+        flat.deploy(package)
+        tree = HierarchicalFleetCoordinator(
+            CONFIG, profiles=(SIM_NODE,), seed=11, n_regions=n_regions
+        )
+        tree.provision(n_devices)
+        tree.deploy(package)
+        for device_id in range(n_devices):
+            tree.device(device_id)
+
+        rng = np.random.default_rng(2)
+        requests = [
+            PredictRequest(user_id=user, features=rng.normal(size=(4, N_FEATURES)))
+            for user in range(200)
+        ]
+        outputs = []
+        for fleet in (flat, tree):
+            client = serve(fleet, seed=5)
+            try:
+                pending = [client.submit(r) for r in requests]
+                client.drain()
+                outputs.append([p.result() for p in pending])
+            finally:
+                client.close()
+
+    identical = all(
+        a.device_id == b.device_id and np.array_equal(a.class_ids, b.class_ids)
+        for a, b in zip(*outputs)
+    )
+    report(
+        "bench_fleet_scale_exact",
+        f"flat vs hierarchical fleet ({n_devices} devices, {n_regions} regions, "
+        f"{len(requests)} requests)\n"
+        f"  predictions + device assignment identical: {identical}\n"
+        f"  deploy shipments, flat: {flat.transfers.deploy_shipments} "
+        f"({flat.transfers.deploy_bytes / 2**20:.2f} MB)\n"
+        f"  deploy shipments, tree: {tree.transfers.deploy_shipments} "
+        f"({tree.transfers.deploy_bytes / 2**20:.2f} MB)",
+        data={
+            "identical": identical,
+            "flat_deploy_bytes": flat.transfers.deploy_bytes,
+            "tree_deploy_bytes": tree.transfers.deploy_bytes,
+            "flat_deploy_shipments": flat.transfers.deploy_shipments,
+            "tree_deploy_shipments": tree.transfers.deploy_shipments,
+        },
+    )
+    assert identical
+    assert tree.transfers.deploy_shipments == n_regions
+    assert tree.transfers.deploy_bytes < flat.transfers.deploy_bytes
+
+
+if __name__ == "__main__":
+    def _report(name, text, data=None):
+        print()
+        print(text)
+        return name
+
+    test_memory_sublinear_in_devices(_report)
+    test_delta_bytes_proportional_to_changed_classes(_report)
+    test_small_fleet_bit_exact_with_flat(_report)
+    print("\nall fleet-scale benchmarks passed")

@@ -177,7 +177,7 @@ def test_one_client_api_across_layers(report):
 
 
 if __name__ == "__main__":
-    def _report(name, text):
+    def _report(name, text, data=None):
         print()
         print(text)
         return name

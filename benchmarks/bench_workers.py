@@ -275,7 +275,7 @@ def test_process_executor_wall_clock_speedup(report):
 
 
 if __name__ == "__main__":
-    def _report(name, text):
+    def _report(name, text, data=None):
         print()
         print(text)
         return name

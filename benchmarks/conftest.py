@@ -9,6 +9,7 @@ the same, the absolute numbers get closer to convergence).
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -59,15 +60,22 @@ def report():
 
     pytest captures stdout by default, so each benchmark also writes its
     printed table/series to a text file next to the benchmark code; the files
-    are what EXPERIMENTS.md references.
+    are what EXPERIMENTS.md references.  Passing ``data`` additionally writes
+    ``results/<name>.json`` with the same measurements as machine-readable
+    key/value pairs — CI uploads the whole ``results/`` directory as an
+    artifact, so the JSON files give trend tooling something to parse.
     """
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
 
-    def _report(name: str, text: str) -> str:
+    def _report(name: str, text: str, data: dict | None = None) -> str:
         path = os.path.join(results_dir, f"{name}.txt")
         with open(path, "w") as handle:
             handle.write(text + "\n")
+        if data is not None:
+            with open(os.path.join(results_dir, f"{name}.json"), "w") as handle:
+                json.dump({"benchmark": name, **data}, handle, indent=2, sort_keys=True)
+                handle.write("\n")
         print()
         print(text)
         return path

@@ -11,7 +11,13 @@ exercises the fleet subsystem (:mod:`repro.fleet`) end to end:
    tick, from its own share of the new data — so devices genuinely drift;
 4. the run reports per-device serving stats, aggregate simulated throughput,
    the per-device accuracy divergence, and a checkpoint → crash → restore
-   round-trip on one device.
+   round-trip on one device;
+5. the same broadcast then goes out to a 100,000-device *hierarchical* fleet
+   (:class:`~repro.fleet.HierarchicalFleetCoordinator`): regions share one
+   copy-on-write template each, only the device that drifts is materialised,
+   and the transfer ledger shows one shipment per region rather than per
+   device.  ``pilote fleet-sim --devices 1000000`` runs the same tree at
+   full scale.
 
 Run with::
 
@@ -29,11 +35,13 @@ from repro.edge.device import DEVICE_PROFILES
 from repro.fleet import (
     CheckpointStore,
     FleetCoordinator,
+    HierarchicalFleetCoordinator,
     Router,
     TrafficGenerator,
     WorkloadSpec,
     staggered_schedule,
 )
+from repro.serving import PredictRequest, serve
 from repro.utils.rng import spawn_rngs
 
 SEED = 42
@@ -105,6 +113,33 @@ def main() -> None:
         print(f"\ncheckpoint ({checkpoint.nbytes / 1024:.1f} KB) restored on a fresh "
               f"device; predictions identical: {identical}")
         fleet.replace_device(0, restored)
+
+    # 7. The regional tree: the same broadcast, 100,000 devices, 8 regions.
+    #    Pooled devices serve from one copy-on-write template per region; a
+    #    device only gets its own learner once it actually drifts.
+    tree = HierarchicalFleetCoordinator(config, seed=SEED, n_regions=8)
+    tree.provision(100_000)
+    tree.deploy(package)
+    drifter = tree.device(12_345)  # materialised out of its region's pool
+    drifter.learn_new_activity(scenario.new_train.subsample(60, rng=SEED))
+    client = serve(tree, seed=SEED)  # regional routing over the lane tree
+    try:
+        pending = [
+            client.submit(PredictRequest(user_id=user, features=scenario.test.features[:4]))
+            for user in range(32)
+        ]
+        client.drain()
+        answered = sum(p.result() is not None for p in pending)
+    finally:
+        client.close()
+    region = tree.region_of(12_345)
+    print(f"\nhierarchical fleet: {len(tree):,} devices in {tree.n_regions} regions, "
+          f"{len(tree.serving_lanes())} serving lanes")
+    print(f"  region {region.region_id}: {region.n_pooled:,} pooled devices + "
+          f"{len(region.materialized)} materialised (device 12,345 drifted)")
+    print(f"  broadcast shipped {tree.transfers.deploy_shipments} packages "
+          f"({tree.transfers.deploy_bytes / 2**20:.2f} MB) instead of {len(tree):,}")
+    print(f"  served {answered}/32 requests through the regional tree")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,9 @@ a served/missed/expired SLO breakdown), and ``--executor
 {serial,thread,process}`` with ``--workers N`` picks where batches execute
 (the serial default models the simulated parallel clock; thread/process run
 real shared-memory or multi-process workers and report measured wall-clock
-latency).  ``pilote serve`` answers one seeded workload through all three
+latency).  Past 1024 devices (or with an explicit ``--regions N``) the fleet
+runs on the hierarchical coordinator — pooled per-region device state and
+delta snapshot shipping make ``--devices 1000000`` tractable.  ``pilote serve`` answers one seeded workload through all three
 serving layers (bare learner, MAGNETO platform, fleet) over the unified
 :mod:`repro.serving` API.
 
@@ -129,6 +131,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: one per CPU core, capped at the device count)",
     )
     parser.add_argument(
+        "--regions",
+        type=int,
+        default=None,
+        help="regional shard count for fleet-sim's hierarchical coordinator "
+        "(default: automatic — flat below 1024 devices, up to 64 regions "
+        "above; forcing a value always selects the hierarchical fleet)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="enable progress logging to stderr"
     )
     return parser
@@ -165,7 +175,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             serving_kwargs["deadline_ms"] = arguments.deadline_ms
             serving_kwargs["executor"] = arguments.executor
             serving_kwargs["workers"] = arguments.workers
+            serving_kwargs["regions"] = arguments.regions
         else:
+            if arguments.regions is not None:
+                parser.error(
+                    "--regions only applies to fleet-sim (the serve layer "
+                    "comparison runs a flat single-digit fleet)"
+                )
             if arguments.deadline_ms is not None:
                 parser.error(
                     "--deadline-ms only applies to fleet-sim (the serve layer "

@@ -187,12 +187,22 @@ class ExemplarStore:
         self._exemplars[int(class_id)] = features[indices].copy()
         return indices
 
-    def set_exemplars(self, class_id: int, features: np.ndarray) -> None:
-        """Directly store exemplar rows for a class (used when re-balancing)."""
+    def set_exemplars(
+        self, class_id: int, features: np.ndarray, *, copy: bool = True
+    ) -> None:
+        """Directly store exemplar rows for a class (used when re-balancing).
+
+        ``copy=False`` stores the (policy-dtype) array without a defensive
+        copy — the copy-on-write path pooled fleet templates use to share one
+        support set across many devices.  Safe because the store only ever
+        *replaces* whole per-class entries (``select``/``set_exemplars``),
+        never mutates rows in place; callers passing ``copy=False`` must
+        uphold the same contract for the array they hand over.
+        """
         features = get_backend().asarray(features)
         if features.ndim != 2 or features.shape[0] == 0:
             raise DataError("exemplar features must be a non-empty 2-D array")
-        self._exemplars[int(class_id)] = features.copy()
+        self._exemplars[int(class_id)] = features.copy() if copy else features
 
     def get(self, class_id: int) -> np.ndarray:
         if int(class_id) not in self._exemplars:

@@ -25,8 +25,15 @@ PathLike = Union[str, Path]
 _FORMAT_VERSION = 1
 
 
-def save_pilote(learner: PILOTE, path: PathLike) -> Path:
-    """Serialise a trained PILOTE learner to a single ``.npz`` checkpoint."""
+def pilote_state(learner: PILOTE) -> tuple:
+    """``(state, metadata)`` of a trained learner — the checkpoint contents.
+
+    ``state`` is a flat ``str → ndarray`` mapping (``model/<param>``,
+    ``exemplars/<class>``, ``prototypes/<class>``) and ``metadata`` the
+    config/bookkeeping dict.  Exposed separately from :func:`save_pilote` so
+    callers can diff two states (delta checkpoints in
+    :class:`~repro.fleet.checkpoint.CheckpointStore`) without touching disk.
+    """
     if not learner.is_pretrained:
         raise NotFittedError("only a pre-trained learner can be saved")
     state = {}
@@ -45,19 +52,17 @@ def save_pilote(learner: PILOTE, path: PathLike) -> Path:
         "exemplar_strategy": learner.exemplars.strategy,
         "exemplar_capacity": learner.exemplars.capacity,
     }
+    return state, metadata
+
+
+def save_pilote(learner: PILOTE, path: PathLike) -> Path:
+    """Serialise a trained PILOTE learner to a single ``.npz`` checkpoint."""
+    state, metadata = pilote_state(learner)
     return save_npz_state(path, state, metadata=metadata)
 
 
-def load_pilote(path: PathLike) -> PILOTE:
-    """Restore a PILOTE learner saved with :func:`save_pilote`."""
-    state = load_npz_state(path)
-    metadata = state.get("__metadata__")
-    if not isinstance(metadata, dict) or "config" not in metadata:
-        raise SerializationError(f"{path} is not a PILOTE checkpoint")
-    if metadata.get("format_version") != _FORMAT_VERSION:
-        raise SerializationError(
-            f"unsupported checkpoint version {metadata.get('format_version')!r}"
-        )
+def pilote_from_state(state: dict, metadata: dict) -> PILOTE:
+    """Rebuild a learner from a :func:`pilote_state`-shaped ``(state, metadata)``."""
     config_fields = dict(metadata["config"])
     config_fields["hidden_dims"] = tuple(config_fields["hidden_dims"])
     config = PiloteConfig(**config_fields)
@@ -88,3 +93,17 @@ def load_pilote(path: PathLike) -> PILOTE:
         learner.classifier = learner.classifier.fit(learner.prototypes)
         learner._classifier_ready = True
     return learner
+
+
+def load_pilote(path: PathLike) -> PILOTE:
+    """Restore a PILOTE learner saved with :func:`save_pilote`."""
+    state = load_npz_state(path)
+    metadata = state.get("__metadata__")
+    if not isinstance(metadata, dict) or "config" not in metadata:
+        raise SerializationError(f"{path} is not a PILOTE checkpoint")
+    if metadata.get("format_version") != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported checkpoint version {metadata.get('format_version')!r}"
+        )
+    arrays = {key: value for key, value in state.items() if key != "__metadata__"}
+    return pilote_from_state(arrays, metadata)

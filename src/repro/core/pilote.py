@@ -271,6 +271,46 @@ class PILOTE:
         )
         return history
 
+    def refine_prototype(self, class_id: int, features: np.ndarray) -> np.ndarray:
+        """Fold new samples of a *known* class into its prototype — no training.
+
+        The cheap edge-side increment: a device that keeps observing an
+        activity it already knows does not need to retrain the backbone
+        (``learn_new_classes`` rebuilds everything); it embeds the new
+        windows under the frozen model and moves the class prototype to the
+        running mean, weighting the existing prototype by the class's
+        exemplar count.  Exactly one prototype row changes, so downstream
+        delta re-syncs (:meth:`EngineStateSnapshot.diff
+        <repro.edge.inference.EngineStateSnapshot.diff>`) ship one row
+        instead of the whole engine state.
+
+        Returns the updated prototype.
+        """
+        if self.model is None:
+            raise NotFittedError("pretrain() must run before refine_prototype()")
+        class_id = int(class_id)
+        if class_id not in self.prototypes:
+            raise DataError(
+                f"class {class_id} is unknown; refine_prototype only updates "
+                "existing prototypes (use learn_new_classes for new classes)"
+            )
+        features = np.asarray(features)
+        if features.ndim == 1:
+            features = features[None, :]
+        if features.ndim != 2 or features.shape[0] == 0:
+            raise DataError("features must be a non-empty (n, d) array")
+        embeddings = self.model.embed(features)
+        weight = float(self.exemplars.exemplars_per_class().get(class_id, 1))
+        old = self.prototypes.get(class_id)
+        updated = (old * weight + embeddings.sum(axis=0)) / (
+            weight + embeddings.shape[0]
+        )
+        self.prototypes.set(class_id, updated)
+        self.classifier = NCMClassifier().fit(self.prototypes)
+        self._classifier_ready = True
+        self._state_version += 1
+        return self.prototypes.get(class_id)
+
     # ------------------------------------------------------------------ #
     # inference
     # ------------------------------------------------------------------ #

@@ -14,7 +14,12 @@ updates.
 
 from repro.edge.device import DeviceProfile, EdgeDevice
 from repro.edge.cloud import CloudServer
-from repro.edge.inference import EngineStateSnapshot, InferenceEngine, SnapshotEngine
+from repro.edge.inference import (
+    EngineSnapshotDelta,
+    EngineStateSnapshot,
+    InferenceEngine,
+    SnapshotEngine,
+)
 from repro.edge.transfer import TransferPackage, package_for_edge
 from repro.edge.magneto import MagnetoPlatform
 from repro.edge.profiler import EdgeProfiler, LatencyReport
@@ -25,6 +30,7 @@ __all__ = [
     "CloudServer",
     "InferenceEngine",
     "EngineStateSnapshot",
+    "EngineSnapshotDelta",
     "SnapshotEngine",
     "TransferPackage",
     "package_for_edge",

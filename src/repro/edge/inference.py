@@ -40,7 +40,12 @@ from typing import TYPE_CHECKING, Dict, Optional
 import numpy as np
 
 from repro.backend import default_dtype, get_backend, precision, resolve_dtype
-from repro.exceptions import DataError, NotFittedError
+from repro.exceptions import (
+    DataError,
+    NotFittedError,
+    SnapshotMismatchError,
+    StaleSnapshotError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports edge lazily)
     from repro.core.config import PiloteConfig
@@ -225,6 +230,162 @@ class EngineStateSnapshot:
     def nbytes(self) -> int:
         """Approximate payload size shipped over IPC."""
         arrays = [self.class_ids, self.prototypes, *self.model_state.values()]
+        return int(sum(a.nbytes for a in arrays))
+
+    # ------------------------------------------------------------------ #
+    def _check_compatible(self, other: "EngineStateSnapshot") -> None:
+        """Raise :class:`SnapshotMismatchError` unless a delta between the
+        two snapshots can reproduce ``self`` exactly."""
+        if self.compute_dtype != other.compute_dtype:
+            raise SnapshotMismatchError(
+                f"compute dtype moved ({other.compute_dtype!r} -> "
+                f"{self.compute_dtype!r}); a delta cannot bridge dtypes"
+            )
+        if self.metric != other.metric:
+            raise SnapshotMismatchError(
+                f"distance metric moved ({other.metric!r} -> {self.metric!r})"
+            )
+        if self.input_dim != other.input_dim or self.config != other.config:
+            raise SnapshotMismatchError(
+                "model architecture moved between snapshots"
+            )
+        if set(self.model_state) != set(other.model_state):
+            raise SnapshotMismatchError(
+                "model parameter key sets differ between snapshots"
+            )
+        if self.prototypes.shape[1:] != other.prototypes.shape[1:]:
+            raise SnapshotMismatchError(
+                f"embedding dimension moved ({other.prototypes.shape[1:]} -> "
+                f"{self.prototypes.shape[1:]})"
+            )
+
+    def diff(self, base: "EngineStateSnapshot") -> "EngineSnapshotDelta":
+        """The delta turning ``base`` into this snapshot.
+
+        Prototype rows are matched *by class id* (an increment may insert a
+        class anywhere in the sorted row order), and only rows whose values
+        moved — plus rows of brand-new classes — travel.  Model parameters
+        are keyed arrays; only changed ones travel.  Incompatible snapshots
+        (dtype/metric/architecture drift) raise
+        :class:`~repro.exceptions.SnapshotMismatchError`, telling the caller
+        to ship the full snapshot instead.
+        """
+        self._check_compatible(base)
+        base_rows = {int(c): base.prototypes[j] for j, c in enumerate(base.class_ids)}
+        changed: list = []
+        for i, class_id in enumerate(self.class_ids):
+            old = base_rows.get(int(class_id))
+            if old is None or not np.array_equal(self.prototypes[i], old):
+                changed.append(i)
+        changed_rows = np.asarray(changed, dtype=np.int64)
+        model_updates = {
+            key: value
+            for key, value in self.model_state.items()
+            if not np.array_equal(value, base.model_state[key])
+        }
+        return EngineSnapshotDelta(
+            base_version=base.state_version,
+            state_version=self.state_version,
+            batch_size=self.batch_size,
+            metric=self.metric,
+            compute_dtype=self.compute_dtype,
+            class_ids=self.class_ids.copy(),
+            changed_rows=changed_rows,
+            prototype_rows=np.array(self.prototypes[changed_rows], copy=True),
+            n_classes=int(self.prototypes.shape[0]),
+            model_updates=model_updates,
+        )
+
+    def apply_delta(self, delta: "EngineSnapshotDelta") -> "EngineStateSnapshot":
+        """Rebuild the successor snapshot this delta was diffed against.
+
+        ``delta`` must have been produced by :meth:`diff` against *this*
+        snapshot's ``state_version`` — anything else raises
+        :class:`~repro.exceptions.StaleSnapshotError` so the caller can fall
+        back to a full re-ship.
+        """
+        if delta.base_version != self.state_version:
+            raise StaleSnapshotError(
+                f"delta was diffed against state_version {delta.base_version}, "
+                f"but this snapshot is at {self.state_version}"
+            )
+        if delta.compute_dtype != self.compute_dtype:
+            raise SnapshotMismatchError(
+                f"delta compute dtype {delta.compute_dtype!r} does not match "
+                f"snapshot dtype {self.compute_dtype!r}"
+            )
+        base_rows = {int(c): self.prototypes[j] for j, c in enumerate(self.class_ids)}
+        prototypes = np.empty(
+            (delta.n_classes, self.prototypes.shape[1]), dtype=self.prototypes.dtype
+        )
+        changed = set(int(i) for i in delta.changed_rows)
+        for i, class_id in enumerate(delta.class_ids):
+            if i in changed:
+                continue
+            carried = base_rows.get(int(class_id))
+            if carried is None:
+                raise StaleSnapshotError(
+                    f"delta carries unchanged class {int(class_id)} that this "
+                    "base snapshot does not hold"
+                )
+            prototypes[i] = carried
+        if delta.changed_rows.size:
+            prototypes[delta.changed_rows] = delta.prototype_rows
+        model_state = {
+            key: delta.model_updates.get(key, value)
+            for key, value in self.model_state.items()
+        }
+        return EngineStateSnapshot(
+            state_version=delta.state_version,
+            batch_size=delta.batch_size,
+            metric=delta.metric,
+            compute_dtype=delta.compute_dtype,
+            class_ids=np.asarray(delta.class_ids, dtype=np.int64),
+            prototypes=prototypes,
+            model_state=model_state,
+            input_dim=self.input_dim,
+            config=self.config,
+        )
+
+
+@dataclass(frozen=True)
+class EngineSnapshotDelta:
+    """What changed between two :class:`EngineStateSnapshot`\\ s of one lane.
+
+    Produced by :meth:`EngineStateSnapshot.diff` and consumed by
+    :meth:`EngineStateSnapshot.apply_delta`; ships only the prototype rows
+    whose values moved (plus new classes) and the model parameter arrays
+    that changed, keyed by the base snapshot's ``state_version`` so a stale
+    base is detected instead of silently mis-applied.  A prototype-only
+    increment therefore re-syncs O(changed classes) bytes instead of the
+    whole engine state.
+    """
+
+    base_version: int
+    state_version: int
+    batch_size: int
+    metric: str
+    compute_dtype: str
+    class_ids: np.ndarray
+    changed_rows: np.ndarray
+    prototype_rows: np.ndarray
+    n_classes: int
+    model_updates: Dict[str, np.ndarray]
+
+    @property
+    def n_changed(self) -> int:
+        """Prototype rows that travel (new or moved classes)."""
+        return int(self.changed_rows.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate payload size shipped over IPC."""
+        arrays = [
+            self.class_ids,
+            self.changed_rows,
+            self.prototype_rows,
+            *self.model_updates.values(),
+        ]
         return int(sum(a.nbytes for a in arrays))
 
 

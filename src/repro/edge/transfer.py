@@ -50,16 +50,32 @@ class TransferPackage:
         }
 
     def instantiate_learner(
-        self, config: PiloteConfig, seed: RandomState = None
+        self,
+        config: PiloteConfig,
+        seed: RandomState = None,
+        *,
+        copy_arrays: bool = True,
     ) -> PILOTE:
         """Materialise an *independent* PILOTE learner from this package.
 
         This is what happens on every device that receives the package: the
-        backbone weights, support set and prototypes are deep-copied into a
+        backbone weights, support set and prototypes are materialised into a
         fresh learner, so the device can keep learning locally without sharing
         state with the cloud learner or with any sibling device.  The fleet
         layer (:mod:`repro.fleet`) uses this to provision many devices from a
         single cloud broadcast.
+
+        ``copy_arrays=False`` is the copy-on-write path used by pooled fleet
+        templates (:class:`~repro.fleet.coordinator.HierarchicalFleetCoordinator`):
+        exemplar rows and prototypes are *shared* with the package instead of
+        deep-copied, so a region full of identical devices costs one support
+        set, not N.  Sharing is safe because every mutation path
+        (``ExemplarStore.select``/``set_exemplars``, ``PrototypeStore.set``,
+        ``_refresh_prototypes``) replaces whole entries rather than writing
+        into rows; the backbone weights are always private (training updates
+        them in place, and ``load_state_dict`` copies regardless).  The
+        instantiated state is identical either way — ``seed`` only feeds the
+        learner's *future* training streams.
         """
         from repro.core.embedding import EmbeddingNetwork  # local import avoids a cycle
         from repro.core.ncm import NCMClassifier
@@ -75,9 +91,15 @@ class TransferPackage:
         learner.exemplars.strategy = self.exemplar_strategy
         learner.exemplars.capacity = self.exemplar_capacity
         for class_id, rows in self.exemplar_features.items():
-            learner.exemplars.set_exemplars(int(class_id), np.array(rows, copy=True))
+            if copy_arrays:
+                learner.exemplars.set_exemplars(int(class_id), np.array(rows, copy=True))
+            else:
+                learner.exemplars.set_exemplars(int(class_id), rows, copy=False)
         for class_id, prototype in self.prototypes.items():
-            learner.prototypes.set(int(class_id), np.array(prototype, copy=True))
+            learner.prototypes.set(
+                int(class_id),
+                np.array(prototype, copy=True) if copy_arrays else prototype,
+            )
         learner._pretrain_dataset = None
         if len(learner.prototypes) > 0:
             learner.classifier = NCMClassifier().fit(learner.prototypes)

@@ -69,3 +69,15 @@ class WorkerDiedError(ExecutorError):
     """Raised through a request's future when the worker process executing
     its batch died before answering; the batch is neither retried nor
     dropped silently (counted in ``RoutingReport.total_failed``)."""
+
+
+class SnapshotMismatchError(ServingError):
+    """Raised when two :class:`~repro.edge.inference.EngineStateSnapshot`\\ s
+    cannot be diffed (different model architecture, compute dtype, metric or
+    parameter key set); callers fall back to shipping the full snapshot."""
+
+
+class StaleSnapshotError(ServingError):
+    """Raised when an :class:`~repro.edge.inference.EngineSnapshotDelta` is
+    applied to a snapshot whose ``state_version`` is not the delta's base;
+    callers fall back to a full re-ship."""

@@ -13,8 +13,14 @@ that architecture out to a *fleet* behind a single cloud broadcast:
   throughput/latency/queue-depth statistics on a simulated parallel clock;
 * :class:`TrafficGenerator` produces deterministic open-loop workloads
   (uniform, bursty, Zipf-skewed user populations);
-* :class:`CheckpointStore` snapshots device state, evicts under a storage
-  budget, and restores state onto a fresh device (crash/replace, elasticity).
+* :class:`CheckpointStore` snapshots device state (full or delta archives),
+  evicts under a storage budget, and restores state onto a fresh device
+  (crash/replace, elasticity);
+* :class:`HierarchicalFleetCoordinator` scales the same architecture to a
+  million devices: regions (:class:`RegionCoordinator`) serve pooled
+  copy-on-write template state behind one lane each, only drifting devices
+  are materialised, and broadcasts ship one package per region
+  (:class:`TransferLedger` accounts the bytes).
 
 Entry points: ``MagnetoPlatform.to_fleet(n)``, the ``pilote fleet-sim`` CLI
 subcommand, ``examples/fleet_simulation.py`` and
@@ -32,6 +38,9 @@ from repro.fleet.coordinator import (
     FleetAccuracyReport,
     FleetCoordinator,
     FleetDevice,
+    HierarchicalFleetCoordinator,
+    RegionCoordinator,
+    TransferLedger,
 )
 from repro.fleet.router import DeviceStats, LoadBalancer, Router, RoutingReport
 from repro.fleet.simulation import FleetSimulationResult
@@ -47,6 +56,9 @@ __all__ = [
     "FleetCoordinator",
     "FleetDevice",
     "FleetAccuracyReport",
+    "HierarchicalFleetCoordinator",
+    "RegionCoordinator",
+    "TransferLedger",
     "Router",
     "LoadBalancer",
     "DeviceStats",

@@ -28,13 +28,39 @@ from repro.evaluation.scenarios import FLEET_SCENARIO, FleetScenarioSpec
 from repro.exceptions import ConfigurationError
 from repro.experiments.common import ExperimentSettings, make_dataset
 from repro.fleet.checkpoint import CheckpointStore
-from repro.fleet.coordinator import FleetAccuracyReport, FleetCoordinator
+from repro.fleet.coordinator import (
+    FleetAccuracyReport,
+    FleetCoordinator,
+    HierarchicalFleetCoordinator,
+)
 from repro.fleet.router import RoutingReport
 from repro.fleet.traffic import TrafficGenerator, WorkloadSpec, staggered_schedule
 from repro.utils.logging import get_logger
 from repro.utils.rng import resolve_rng, spawn_rngs
 
 logger = get_logger("fleet.simulation")
+
+#: Past this many devices the simulation switches to the hierarchical
+#: coordinator automatically (one pooled template per region, only drifting
+#: devices materialised) — the flat one-learner-per-device model would not
+#: fit in memory at, say, a million devices.
+HIERARCHICAL_DEVICE_THRESHOLD = 1024
+
+#: How many devices of a hierarchical fleet actually drift (receive a
+#: staggered increment and are therefore materialised).  Spread evenly over
+#: the id range; device 0 is always included so the checkpoint probe runs.
+HIERARCHICAL_DRIFT_DEVICES = 16
+
+
+def _peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (0 if unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    # Linux reports kilobytes; macOS reports bytes.  Normalise heuristically.
+    peak = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    return peak * 1024 if peak < 2**40 else peak
 
 
 @dataclass
@@ -52,6 +78,13 @@ class FleetSimulationResult:
     scheduling_order: str = "fifo"
     deadline_ms: Optional[float] = None
     executor_name: str = "serial"
+    n_regions: Optional[int] = None
+    peak_rss_bytes: int = 0
+    deploy_bytes: int = 0
+    deploy_shipments: int = 0
+    resync_bytes: int = 0
+    resync_full: int = 0
+    resync_delta: int = 0
 
     def to_text(self) -> str:
         # Concurrent executors measure real elapsed time; the serial default
@@ -60,10 +93,14 @@ class FleetSimulationResult:
             "measured wall clock" if self.routing.clock == "wall"
             else "simulated, devices in parallel"
         )
+        region_note = (
+            "" if self.n_regions is None else f" in {self.n_regions} regions"
+        )
         lines = [
             "Fleet simulation: multi-device serving with staggered increments",
             "",
-            f"devices: {self.n_devices}  (routing policy: {self.routing_policy}, "
+            f"devices: {self.n_devices}{region_note}  "
+            f"(routing policy: {self.routing_policy}, "
             f"scheduling: {self.scheduling_order}, executor: {self.executor_name})",
             f"requests routed: {int(self.routing.total_requests)} "
             f"({int(self.routing.total_windows)} windows)",
@@ -92,6 +129,20 @@ class FleetSimulationResult:
                 f"{row['max_queue_depth']:>7}{row['increment_tick']:>9}"
                 f"{row['accuracy']:>10.4f}"
             )
+        resync_note = (
+            f"; executor re-sync {self.resync_bytes / 2**20:.2f} MB "
+            f"({self.resync_full} full, {self.resync_delta} delta)"
+            if self.resync_full or self.resync_delta
+            else ""
+        )
+        lines.extend(
+            [
+                "",
+                f"memory: peak RSS {self.peak_rss_bytes / 2**20:.1f} MB; "
+                f"deploy shipped {self.deploy_bytes / 2**20:.2f} MB in "
+                f"{self.deploy_shipments} shipments{resync_note}",
+            ]
+        )
         summary = self.accuracy.summary()
         lines.extend(
             [
@@ -116,6 +167,7 @@ def run(
     deadline_ms: Optional[float] = None,
     executor: Optional[str] = None,
     workers: Optional[int] = None,
+    regions: Optional[int] = None,
 ) -> FleetSimulationResult:
     """Run one fleet simulation at the given experiment scale.
 
@@ -129,7 +181,11 @@ def run(
     inline on the simulated clock — the default — ``"thread"``, or
     ``"process"`` for a pool of ``workers`` real worker processes; the
     report's throughput/latency lines then carry measured wall-clock
-    numbers instead of the simulated parallel clock).
+    numbers instead of the simulated parallel clock).  ``regions`` forces the
+    hierarchical coordinator with that many regional shards; without it, the
+    simulation switches to hierarchical mode automatically past
+    :data:`HIERARCHICAL_DEVICE_THRESHOLD` devices (which is what makes
+    ``pilote fleet-sim --devices 1000000`` tractable).
     """
     settings = settings or ExperimentSettings.default()
     if n_devices is None:
@@ -167,25 +223,50 @@ def run(
     package = cloud.export_package()
 
     # 2. Provision and deploy.
-    fleet = FleetCoordinator(settings.config, seed=settings.seed)
+    hierarchical = regions is not None or n_devices > HIERARCHICAL_DEVICE_THRESHOLD
+    if hierarchical:
+        fleet: FleetCoordinator = HierarchicalFleetCoordinator(
+            settings.config, seed=settings.seed, n_regions=regions
+        )
+    else:
+        fleet = FleetCoordinator(settings.config, seed=settings.seed)
     fleet.provision(n_devices)
     fleet.deploy(package)
 
     # 3. Staggered increments: device i learns the new activity at its own
     #    tick from its own subsample, so the fleet genuinely drifts apart.
-    schedule = staggered_schedule(
-        n_devices,
-        start_tick=scenario.stagger_start_tick,
-        spacing_ticks=scenario.stagger_spacing_ticks,
-    )
-    increment_rngs = spawn_rngs(settings.seed, n_devices)
-    fractions = np.linspace(scenario.min_increment_fraction, 1.0, n_devices)
+    #    Hierarchically only a fixed-size drift cohort (spread over the id
+    #    range, always including device 0 for the checkpoint probe) gets an
+    #    increment — scheduling one per device would materialise the whole
+    #    fleet and defeat the pooling.
+    if hierarchical:
+        drift_ids = np.unique(
+            np.linspace(
+                0, n_devices - 1, num=min(n_devices, HIERARCHICAL_DRIFT_DEVICES)
+            ).astype(np.int64)
+        )
+        schedule = {
+            int(device_id): scenario.stagger_start_tick
+            + rank * scenario.stagger_spacing_ticks
+            for rank, device_id in enumerate(drift_ids)
+        }
+        increment_rngs = spawn_rngs(settings.seed, len(drift_ids))
+        fractions = np.linspace(scenario.min_increment_fraction, 1.0, len(drift_ids))
+        ranks = {int(device_id): rank for rank, device_id in enumerate(drift_ids)}
+    else:
+        schedule = staggered_schedule(
+            n_devices,
+            start_tick=scenario.stagger_start_tick,
+            spacing_ticks=scenario.stagger_spacing_ticks,
+        )
+        increment_rngs = spawn_rngs(settings.seed, n_devices)
+        fractions = np.linspace(scenario.min_increment_fraction, 1.0, n_devices)
+        ranks = {device_id: device_id for device_id in schedule}
     increment_samples: Dict[int, int] = {}
     for device_id, tick in schedule.items():
-        n_samples = max(int(data_scenario.new_train.n_samples * fractions[device_id]), 2)
-        share = data_scenario.new_train.subsample(
-            n_samples, rng=increment_rngs[device_id]
-        )
+        rank = ranks[device_id]
+        n_samples = max(int(data_scenario.new_train.n_samples * fractions[rank]), 2)
+        share = data_scenario.new_train.subsample(n_samples, rng=increment_rngs[rank])
         increment_samples[device_id] = share.n_samples
         fleet.schedule_increment(device_id, tick, share)
 
@@ -214,8 +295,11 @@ def run(
             client.drain()  # per-tick drain keeps increments ordered between ticks
         fleet.run_due_increments(max(schedule.values()))  # anything past the stream
         routing_report = client.report()
+        executor_instance = client.scheduler.executor
     finally:
         client.close()  # release executor worker pools, if any
+    # Counters survive close(); an executor without them reports zeros.
+    resync = getattr(executor_instance, "sync_stats", lambda: {})()
 
     # 5. Fleet-level evaluation + a crash/replace round-trip on device 0.
     accuracy = fleet.accuracy_report(data_scenario.test)
@@ -230,20 +314,48 @@ def run(
         )
 
     device_rows = []
-    for device in fleet.devices:
-        stats = routing_report.per_device[device.device_id]
-        device_rows.append(
-            {
-                "device_id": device.device_id,
-                "profile": device.profile.name,
-                "requests": stats.requests,
-                "throughput": stats.throughput,
-                "mean_latency_ms": stats.mean_latency_seconds * 1e3,
-                "max_queue_depth": stats.max_queue_depth,
-                "increment_tick": schedule[device.device_id],
-                "accuracy": accuracy.per_device[device.device_id],
-            }
-        )
+    if isinstance(fleet, HierarchicalFleetCoordinator):
+        # One row per serving lane: pooled region lanes first (labelled by
+        # region and multiplicity), then the materialised (drifted) devices.
+        for lane in fleet.serving_lanes():
+            stats = routing_report.per_device[lane.device_id]
+            pooled = lane.device_id < 0
+            region = (
+                fleet.regions[-lane.device_id - 1]
+                if pooled
+                else fleet.region_of(lane.device_id)
+            )
+            device_rows.append(
+                {
+                    "device_id": (
+                        f"R{region.region_id}x{region.n_pooled}"
+                        if pooled
+                        else lane.device_id
+                    ),
+                    "profile": lane.profile.name,
+                    "requests": stats.requests,
+                    "throughput": stats.throughput,
+                    "mean_latency_ms": stats.mean_latency_seconds * 1e3,
+                    "max_queue_depth": stats.max_queue_depth,
+                    "increment_tick": schedule.get(lane.device_id, "-"),
+                    "accuracy": accuracy.per_device.get(lane.device_id, float("nan")),
+                }
+            )
+    else:
+        for device in fleet.devices:
+            stats = routing_report.per_device[device.device_id]
+            device_rows.append(
+                {
+                    "device_id": device.device_id,
+                    "profile": device.profile.name,
+                    "requests": stats.requests,
+                    "throughput": stats.throughput,
+                    "mean_latency_ms": stats.mean_latency_seconds * 1e3,
+                    "max_queue_depth": stats.max_queue_depth,
+                    "increment_tick": schedule[device.device_id],
+                    "accuracy": accuracy.per_device[device.device_id],
+                }
+            )
     logger.info(
         "fleet simulation: %d devices, %.0f windows/s aggregate, accuracy spread %.4f",
         n_devices,
@@ -262,4 +374,13 @@ def run(
         scheduling_order=client.scheduling,
         deadline_ms=deadline_ms,
         executor_name=client.executor,
+        n_regions=(
+            fleet.n_regions if isinstance(fleet, HierarchicalFleetCoordinator) else None
+        ),
+        peak_rss_bytes=_peak_rss_bytes(),
+        deploy_bytes=fleet.transfers.deploy_bytes,
+        deploy_shipments=fleet.transfers.deploy_shipments,
+        resync_bytes=int(resync.get("bytes_shipped", 0)),
+        resync_full=int(resync.get("full_syncs", 0)),
+        resync_delta=int(resync.get("delta_syncs", 0)),
     )

@@ -98,6 +98,7 @@ from repro.serving.routing import (
     LeastLoadedRouting,
     PowerOfTwoRouting,
     ROUTING_POLICIES,
+    RegionalRouting,
     RoutingPolicy,
     make_routing_policy,
 )
@@ -122,6 +123,7 @@ __all__ = [
     "EventLoopScheduler",
     "RoutingPolicy",
     "HashRouting",
+    "RegionalRouting",
     "LeastLoadedRouting",
     "PowerOfTwoRouting",
     "ROUTING_POLICIES",

@@ -41,11 +41,15 @@ from repro.edge.device import DeviceProfile, EdgeDevice
 from repro.edge.inference import InferenceEngine
 from repro.edge.magneto import MagnetoPlatform
 from repro.exceptions import RoutingError, ServingError
-from repro.fleet.coordinator import FleetCoordinator, FleetDevice
+from repro.fleet.coordinator import (
+    FleetCoordinator,
+    FleetDevice,
+    HierarchicalFleetCoordinator,
+)
 from repro.fleet.router import RoutingReport
 from repro.serving.executor import Executor
 from repro.serving.protocol import PendingResult, PredictRequest
-from repro.serving.routing import RoutingPolicy
+from repro.serving.routing import RegionalRouting, RoutingPolicy
 from repro.serving.scheduler import EventLoopScheduler
 from repro.utils.rng import RandomState
 
@@ -351,6 +355,20 @@ def serve(
         routing=routing, seed=seed, scheduling=scheduling,
         executor=executor, workers=workers,
     )
+    if isinstance(target, HierarchicalFleetCoordinator):
+        if not target.regions:
+            raise ServingError("the fleet has no devices; provision() first")
+        lanes = target.serving_lanes()
+        if routing is None or routing == "hash":
+            # Hash through the fleet's device → lane map so pooled devices
+            # keep the exact user placement a flat fleet would give them.
+            options["routing"] = RegionalRouting(target)
+        return ServingClient(
+            lanes,
+            coordinator=target,
+            label="fleet-tree",
+            **options,
+        )
     if isinstance(target, FleetCoordinator):
         if not target.devices:
             raise ServingError("the fleet has no devices; provision() first")

@@ -61,7 +61,13 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.backend import default_dtype, get_backend, precision, resolve_dtype
-from repro.exceptions import ConfigurationError, ExecutorError, ServingError, WorkerDiedError
+from repro.exceptions import (
+    ConfigurationError,
+    ExecutorError,
+    ServingError,
+    SnapshotMismatchError,
+    WorkerDiedError,
+)
 
 __all__ = [
     "LaneTask",
@@ -266,17 +272,21 @@ def _process_worker_main(worker_index, task_queue, result_queue, backend_name):
     """Worker process loop: install a backend, serve shipped snapshots.
 
     Messages: ``("sync", position, snapshot)`` installs/replaces the lane's
-    :class:`~repro.edge.inference.SnapshotEngine`; ``("run", task_id,
-    position, windows)`` answers on the shared result queue as ``(task_id,
-    position, outputs, wall, error)``; ``("crash",)`` kills the process
-    without cleanup (the parent's worker-death path, exercised by tests);
-    ``None`` shuts down cleanly.
+    :class:`~repro.edge.inference.SnapshotEngine`; ``("delta", position,
+    delta)`` advances the retained base snapshot with an
+    :class:`~repro.edge.inference.EngineSnapshotDelta` (only the rows that
+    moved cross the IPC queue); ``("run", task_id, position, windows)``
+    answers on the shared result queue as ``(task_id, position, outputs,
+    wall, error)``; ``("crash",)`` kills the process without cleanup (the
+    parent's worker-death path, exercised by tests); ``None`` shuts down
+    cleanly.
     """
     from repro.backend import install_worker_backend
     from repro.edge.inference import SnapshotEngine
 
     install_worker_backend(backend_name)
     engines: Dict[int, SnapshotEngine] = {}
+    snapshots: Dict[int, object] = {}  # lane -> last installed EngineStateSnapshot
     while True:
         try:
             message = task_queue.get()
@@ -288,6 +298,28 @@ def _process_worker_main(worker_index, task_queue, result_queue, backend_name):
         if kind == "sync":
             _, position, snapshot = message
             engines[position] = SnapshotEngine(snapshot)
+            snapshots[position] = snapshot
+            continue
+        if kind == "delta":
+            _, position, delta = message
+            # Apply onto the retained base; any failure (missing base, stale
+            # version — possible only if the parent's book-keeping broke)
+            # drops the lane so the next "run" fails typed through its future
+            # rather than serving stale state.
+            try:
+                base = snapshots.get(position)
+                if base is None:
+                    raise ExecutorError(
+                        f"worker {worker_index} received a delta for lane "
+                        f"{position} but holds no base snapshot"
+                    )
+                snapshot = base.apply_delta(delta)
+            except Exception:
+                engines.pop(position, None)
+                snapshots.pop(position, None)
+            else:
+                engines[position] = SnapshotEngine(snapshot)
+                snapshots[position] = snapshot
             continue
         if kind == "crash":
             os._exit(1)
@@ -329,7 +361,11 @@ class ProcessExecutor(Executor):
     (a broadcast, an on-device increment, or a device/learner replacement —
     a fresh learner restarts its version counter, so identity is part of
     the staleness key), so steady-state rounds carry just the window
-    payloads.  Every device behind the scheduler must expose an ``engine``
+    payloads.  A version bump on an already-shipped lane ships an
+    :class:`~repro.edge.inference.EngineSnapshotDelta` — only the prototype
+    rows and parameters that moved — falling back to the full snapshot when
+    the delta would not be smaller or the architecture changed
+    (``sync_stats()`` reports bytes shipped and full vs delta counts).  Every device behind the scheduler must expose an ``engine``
     (``FleetDevice``/``EdgeDevice`` do; ``serve(...)`` wires it for the
     in-process adapters) — a lane without one fails with a typed
     :class:`~repro.exceptions.ExecutorError`.
@@ -352,13 +388,20 @@ class ProcessExecutor(Executor):
         )
         self._workers: List[_Worker] = []
         self._results = None
-        # lane -> (engine, learner, state_version) last shipped.  Identity
-        # matters, not just the version number: a redeploy or device
+        # lane -> (engine, learner, state_version, snapshot) last shipped.
+        # Identity matters, not just the version number: a redeploy or device
         # replacement installs a *fresh* learner whose counter restarts, so
-        # an equal version from a different object must still re-ship.
+        # an equal version from a different object must still re-ship.  The
+        # retained snapshot is the delta base the worker holds too, so a
+        # version bump ships only the rows that moved.
         self._shipped: Dict[int, tuple] = {}
         self._task_counter = 0
         self.n_workers = 0
+        # Shipping telemetry (survives close() so reports can read it after
+        # the pool is released): bytes over the IPC queue, full vs delta.
+        self.bytes_shipped = 0
+        self.full_syncs = 0
+        self.delta_syncs = 0
 
     def bind(self, devices: Sequence) -> None:
         super().bind(devices)
@@ -438,8 +481,33 @@ class ProcessExecutor(Executor):
         snapshot = engine.state_snapshot(
             compute_dtype=str(_device_dtype(device))
         )
-        worker.task_queue.put(("sync", position, snapshot))
-        self._shipped[position] = (engine, learner, snapshot.state_version)
+        delta = None
+        if shipped is not None and shipped[0] is engine and shipped[1] is learner:
+            # Same engine/learner, newer version: the worker still holds the
+            # previously shipped snapshot, so only the rows that moved need
+            # to cross the IPC queue.  Architectural changes raise
+            # SnapshotMismatchError and fall back to the full re-ship.
+            try:
+                delta = snapshot.diff(shipped[3])
+            except SnapshotMismatchError:
+                delta = None
+        if delta is not None and delta.nbytes < snapshot.nbytes:
+            worker.task_queue.put(("delta", position, delta))
+            self.bytes_shipped += delta.nbytes
+            self.delta_syncs += 1
+        else:
+            worker.task_queue.put(("sync", position, snapshot))
+            self.bytes_shipped += snapshot.nbytes
+            self.full_syncs += 1
+        self._shipped[position] = (engine, learner, snapshot.state_version, snapshot)
+
+    def sync_stats(self) -> Dict[str, int]:
+        """Cumulative snapshot-shipping telemetry (full syncs, deltas, bytes)."""
+        return {
+            "bytes_shipped": self.bytes_shipped,
+            "full_syncs": self.full_syncs,
+            "delta_syncs": self.delta_syncs,
+        }
 
     # -- execution ------------------------------------------------------ #
     def run(self, tasks: Sequence[LaneTask]) -> List[LaneResult]:

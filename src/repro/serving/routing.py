@@ -35,6 +35,7 @@ from repro.utils.hashing import splitmix64
 __all__ = [
     "RoutingPolicy",
     "HashRouting",
+    "RegionalRouting",
     "LeastLoadedRouting",
     "PowerOfTwoRouting",
     "ROUTING_POLICIES",
@@ -116,6 +117,45 @@ class HashRouting(RoutingPolicy):
     def assign_batch(self, requests, user_ids, scheduler, lanes=None):
         hashed = splitmix64(user_ids, self._salt)
         preferred = (hashed % np.uint64(self._n_lanes)).astype(np.int64)
+        if lanes is None:
+            return preferred
+        lanes = np.asarray(lanes, dtype=np.int64)
+        fallback = lanes[(hashed % np.uint64(lanes.size)).astype(np.int64)]
+        return np.where(np.isin(preferred, lanes), preferred, fallback)
+
+
+class RegionalRouting(RoutingPolicy):
+    """Hash routing through a hierarchical fleet's ``device → lane`` map.
+
+    Users are hashed to a *device* exactly as :class:`HashRouting` hashes
+    them to a lane on a flat fleet (same salt draw, same modulus over the
+    device count), then the fleet's lane map folds pooled devices onto their
+    region's template lane while drifted devices keep their own lane.  A
+    user therefore lands on the same logical device whether the fleet is
+    flat or hierarchical — only the amount of physical state behind that
+    device differs.
+
+    Not in :data:`ROUTING_POLICIES`: it needs a fleet, so
+    :func:`repro.serving.client.serve` constructs it when handed a
+    :class:`~repro.fleet.coordinator.HierarchicalFleetCoordinator`.
+    """
+
+    name = "regional"
+
+    def __init__(self, fleet) -> None:
+        # Duck-typed: anything with lane_map() → int64 array of lane positions
+        # indexed by device id (avoids importing repro.fleet here).
+        self._fleet = fleet
+
+    def bind(self, n_lanes: int, rng) -> None:
+        super().bind(n_lanes, rng)
+        self._salt = _draw_salt(rng)  # same first draw as HashRouting.bind
+        self._lane_map = np.asarray(self._fleet.lane_map(), dtype=np.int64)
+
+    def assign_batch(self, requests, user_ids, scheduler, lanes=None):
+        hashed = splitmix64(user_ids, self._salt)
+        device = (hashed % np.uint64(self._lane_map.size)).astype(np.int64)
+        preferred = self._lane_map[device]
         if lanes is None:
             return preferred
         lanes = np.asarray(lanes, dtype=np.int64)
