@@ -1,0 +1,286 @@
+"""Benchmarks of the network front door (`repro.server`).
+
+Two gates, both on a loopback socket so they run anywhere:
+
+1. **Closed-loop loopback throughput** — a compute-bound fleet workload
+   driven through the full network path (closed-loop client → wire frames
+   → asyncio bridge → scheduler → process executor) must sustain at least
+   **90 %** of the in-process process-executor throughput on the same
+   stream, with client-measured end-to-end p50/p99 and ``slo_attainment``
+   reported.  The network front door must cost pipelining overhead, not a
+   serialization bottleneck.  Like bench_workers' speedup gate, the
+   required ratio scales with the hardware actually available: the 90 %
+   acceptance target needs enough cores for the event loop (which runs
+   both the load client and the server here) to overlap with the worker
+   pool; with fewer cores the frame encode/decode work adds *inline* to
+   the critical path and the gate degrades to an overhead bound.
+2. **Graceful shutdown exactly-once** — shutting the server down in the
+   middle of a seeded Zipf stream loses zero futures: on the client every
+   sent request lands in exactly one bucket (answered or a typed error),
+   and on the server ``received == answered + failed``.
+
+Run via pytest (``python -m pytest benchmarks/bench_server.py -q -s``) or
+directly (``PYTHONPATH=src python benchmarks/bench_server.py``).
+"""
+
+from __future__ import annotations
+
+import os
+
+# Pin BLAS to one thread per process *before* numpy initialises — same
+# reasoning as bench_workers.py: otherwise the baseline parallelises its
+# GEMMs across every core and the ratio measures thread-pool contention.
+for _var in ("OPENBLAS_NUM_THREADS", "OMP_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.backend import precision
+from repro.core.config import PiloteConfig
+from repro.edge.transfer import package_for_edge
+from repro.fleet import FleetCoordinator, TrafficGenerator, WorkloadSpec
+from repro.server import AsyncConnection, ServingServer, run_load, wire
+from repro.server.simulation import SIM_NODE, make_serving_learner
+from repro.serving import serve
+
+#: Worker-pool size under test (matches bench_workers; CI pins 2).
+N_WORKERS = int(os.environ.get("BENCH_WORKERS", "4"))
+
+#: Same compute-bound backbone as bench_workers: per-batch GEMMs dominate,
+#: so the gate isolates the front door's overhead rather than BLAS noise.
+HEAVY_CONFIG = PiloteConfig(
+    hidden_dims=(512, 256), embedding_dim=32, cache_size=1200, seed=0
+)
+N_FEATURES = 80
+
+#: Reporting-only end-to-end target for the loopback run (generous: the
+#: gate is the throughput ratio, the attainment line is the observability
+#: deliverable).
+SLO_TARGET_MS = 10_000.0
+
+
+def usable_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def build_fleet(package, n_devices: int, config=HEAVY_CONFIG) -> FleetCoordinator:
+    fleet = FleetCoordinator(config, profiles=(SIM_NODE,), seed=0)
+    fleet.provision(n_devices)
+    fleet.deploy(package)
+    for device in fleet.devices:
+        device.engine.warm()
+    return fleet
+
+
+def _compute_bound_ticks(pool, n_ticks: int = 4, per_tick: int = 64):
+    spec = WorkloadSpec(
+        pattern="zipf", n_users=500, requests_per_tick=per_tick,
+        n_ticks=n_ticks, windows_per_request=64,
+    )
+    return list(TrafficGenerator(pool, spec, seed=7).ticks())
+
+
+def _drain_stream(client, ticks):
+    """Submit+drain a tick stream; returns (windows answered, wall seconds)."""
+    futures = []
+    start = time.perf_counter()
+    for requests in ticks:
+        futures.extend(client.submit_many(requests))
+        client.drain()
+    wall = time.perf_counter() - start
+    windows = sum(f.result().class_ids.shape[0] for f in futures)
+    return windows, wall
+
+
+def test_closed_loop_loopback_vs_in_process(report):
+    """Network path sustains >= 90% of in-process executor throughput."""
+    cores = usable_cores()
+    with precision("edge"):
+        package = package_for_edge(
+            make_serving_learner(HEAVY_CONFIG, n_features=N_FEATURES)
+        )
+        pool = (
+            np.random.default_rng(3)
+            .normal(size=(4096, N_FEATURES))
+            .astype(np.float32)
+        )
+        ticks = _compute_bound_ticks(pool)
+        requests = [request for tick in ticks for request in tick]
+        n_windows = sum(request.n_windows for request in requests)
+        probe = ticks[0][:4]
+
+        # Best-of-3 on both sides: one warm worker pool each, repeated
+        # passes over the same stream, keep the fastest — the same
+        # variance-damping bench_workers uses for its overhead gate.
+        baseline_fleet = build_fleet(package, N_WORKERS)
+        with serve(
+            baseline_fleet, routing="hash", seed=7,
+            executor="process", workers=N_WORKERS,
+        ) as client:
+            client.submit_many(probe)
+            client.drain()  # spin up workers + ship snapshots, untimed
+            baseline_wall = None
+            for _ in range(3):
+                baseline_windows, wall = _drain_stream(client, ticks)
+                baseline_wall = wall if baseline_wall is None else min(baseline_wall, wall)
+        in_process_wps = baseline_windows / baseline_wall
+
+        async def drive():
+            fleet = build_fleet(package, N_WORKERS)
+            server = ServingServer(
+                serve(
+                    fleet, routing="hash", seed=7,
+                    executor="process", workers=N_WORKERS,
+                ),
+                slo_target_ms=SLO_TARGET_MS,
+            )
+            host, port = await server.start()
+            try:
+                # Warm the worker pool over the wire, outside the timed run.
+                async with await AsyncConnection.open(host, port) as probe_conn:
+                    for request in probe:
+                        await probe_conn.predict(request.user_id, request.features)
+                best = None
+                for _ in range(3):
+                    load = await run_load(
+                        host, port, requests,
+                        connections=4, window=32, slo_target_ms=SLO_TARGET_MS,
+                    )
+                    if best is None or load.throughput_wps > best.throughput_wps:
+                        best = load
+                return best
+            finally:
+                await server.stop()
+
+        load = asyncio.run(drive())
+
+    ratio = load.throughput_wps / in_process_wps
+    if cores >= N_WORKERS + 2:
+        required = 0.90  # loop (client + server) and workers all overlap
+    elif cores >= 2:
+        required = 0.55  # partial overlap
+    else:
+        # One usable core: every byte of frame work adds inline to the
+        # critical path, so the gate bounds serialization overhead instead.
+        required = 0.40
+    gate_note = (
+        ""
+        if cores >= N_WORKERS + 2
+        else f", acceptance target 90% needs >= {N_WORKERS + 2} cores"
+    )
+    report(
+        "bench_server_loopback",
+        f"closed-loop loopback client vs in-process process executor "
+        f"({N_WORKERS} workers, {cores} usable cores, "
+        f"{load.connections} connections x {load.window} window)\n"
+        f"  windows served:           {n_windows}\n"
+        f"  in-process:               {baseline_wall:8.3f} s "
+        f"({in_process_wps:9.0f} windows/s)\n"
+        f"  over loopback socket:     {load.wall_seconds:8.3f} s "
+        f"({load.throughput_wps:9.0f} windows/s)\n"
+        f"  throughput ratio:         {ratio:8.2%}  (gate: >= {required:.0%}"
+        f"{gate_note})\n"
+        f"  e2e p50 / p99:            {load.e2e_percentile(50.0):8.1f} / "
+        f"{load.e2e_percentile(99.0):.1f} ms\n"
+        f"  slo_attainment:           {load.slo_attainment:8.4f} "
+        f"(target {SLO_TARGET_MS:g} ms end-to-end)",
+        data={
+            "workers": N_WORKERS,
+            "usable_cores": cores,
+            "windows": n_windows,
+            "in_process_windows_per_s": in_process_wps,
+            "loopback_windows_per_s": load.throughput_wps,
+            "throughput_ratio": ratio,
+            "e2e_p50_ms": load.e2e_percentile(50.0),
+            "e2e_p99_ms": load.e2e_percentile(99.0),
+            "slo_target_ms": SLO_TARGET_MS,
+            "slo_attainment": load.slo_attainment,
+            "gate_ratio": required,
+            "acceptance_ratio": 0.90,
+        },
+    )
+    assert load.sent == len(requests) == load.answered + load.failed
+    assert load.failed == 0
+    assert load.windows_answered == n_windows
+    assert ratio >= required
+
+
+def test_graceful_shutdown_loses_zero_futures(report):
+    """Mid-stream shutdown: every request answered-or-failed exactly once."""
+    small_config = PiloteConfig(hidden_dims=(64, 32), embedding_dim=16, seed=0)
+    with precision("edge"):
+        learner = make_serving_learner(
+            small_config, n_classes=4, per_class=60, n_features=N_FEATURES
+        )
+        pool = (
+            np.random.default_rng(11)
+            .normal(size=(1024, N_FEATURES))
+            .astype(np.float32)
+        )
+        spec = WorkloadSpec(
+            pattern="zipf", n_users=64, requests_per_tick=384, n_ticks=1,
+            windows_per_request=4,
+        )
+        requests = TrafficGenerator(pool, spec, seed=11).requests()
+
+        async def scenario():
+            server = ServingServer(serve(learner, executor="thread", workers=2))
+            host, port = await server.start()
+            load_task = asyncio.get_running_loop().create_task(
+                run_load(
+                    host, port, requests,
+                    connections=3, window=16, fetch_server_stats=False,
+                )
+            )
+            while server.stats.received < len(requests) // 4:
+                await asyncio.sleep(0.001)
+            await server.stop(grace_seconds=0.1)
+            return await load_task, server.stats
+
+        load, stats = asyncio.run(scenario())
+
+    client_exact = load.sent == load.answered + load.failed
+    server_exact = stats.received == stats.answered + stats.failed
+    typed = set(load.failed_by_type) | set(stats.failed_by_type)
+    report(
+        "bench_server_shutdown",
+        f"graceful shutdown mid-stream ({len(requests)} request stream, "
+        f"stopped after {len(requests) // 4} received)\n"
+        f"  client: sent {load.sent} = answered {load.answered} "
+        f"+ failed {load.failed}  (exactly once: {client_exact})\n"
+        f"  server: received {stats.received} = answered {stats.answered} "
+        f"+ failed {stats.failed}  (exactly once: {server_exact})\n"
+        f"  failure types (all wire-typed): {sorted(typed)}",
+        data={
+            "stream": len(requests),
+            "client_sent": load.sent,
+            "client_answered": load.answered,
+            "client_failed": load.failed,
+            "server_received": stats.received,
+            "server_answered": stats.answered,
+            "server_failed": stats.failed,
+            "client_exactly_once": client_exact,
+            "server_exactly_once": server_exact,
+            "failed_by_type": dict(load.failed_by_type),
+        },
+    )
+    assert client_exact
+    assert server_exact
+    assert typed <= set(wire.WIRE_ERRORS)
+    assert stats.received >= len(requests) // 4
+
+
+if __name__ == "__main__":
+    def _report(name, text, data=None):
+        print()
+        print(text)
+        return name
+
+    test_closed_loop_loopback_vs_in_process(_report)
+    test_graceful_shutdown_loses_zero_futures(_report)
+    print("\nall front-door benchmarks passed")

@@ -38,6 +38,17 @@ the simulation switches to a hierarchical tree of regional coordinators
 fan-out): regions serve one pooled copy-on-write template each, devices are
 only materialised when they drift, and re-syncs ship snapshot *deltas* — so
 a million-device fleet runs in megabytes, not terabytes.
+
+Network serving
+---------------
+
+To serve *outside* callers over a real socket, :mod:`repro.server` puts an
+asyncio front door on the same serving stack: ``pilote serve-net`` hosts a
+fleet behind a length-prefixed binary wire protocol (typed error frames,
+per-client backpressure, graceful shutdown), and ``pilote bench-client``
+drives it closed-loop with end-to-end p50/p99 and SLO attainment reporting
+— see ``examples/async_serving.py`` for the bridge, server and load layers
+used directly from ``asyncio``.
 """
 
 from repro import PILOTE, PiloteConfig

@@ -23,6 +23,16 @@ delta snapshot shipping make ``--devices 1000000`` tractable.  ``pilote serve`` 
 serving layers (bare learner, MAGNETO platform, fleet) over the unified
 :mod:`repro.serving` API.
 
+``pilote serve-net`` opens the network front door (:mod:`repro.server`):
+it builds a serving fleet and answers real socket traffic on
+``--host``/``--port`` for ``--duration`` seconds (``0`` = until
+interrupted); ``--deadline-ms`` here is the end-to-end SLO target the
+stats report measures against.  ``pilote bench-client`` is the matching
+closed-loop load generator: ``--requests``/``--connections``/``--window``
+shape the load, ``--pattern`` the user popularity; pointed at a running
+server with ``--port``, or self-hosting a loopback server (built from the
+fleet flags) when ``--port`` is omitted.
+
 The ``--scale`` flag picks an :class:`~repro.experiments.common.ExperimentSettings`
 preset (``quick``, ``default`` or ``paper``).
 """
@@ -45,6 +55,8 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentSettings
 from repro.fleet import simulation as fleet_simulation
+from repro.fleet.traffic import PATTERNS
+from repro.server import simulation as server_simulation
 from repro.serving import EXECUTORS, ROUTING_POLICIES, SCHEDULING_ORDERS
 from repro.serving import simulation as serving_simulation
 from repro.utils.logging import enable_console_logging
@@ -60,10 +72,15 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "multi-increment": lambda settings: multi_increment.run(settings),
     "fleet-sim": lambda settings, **kw: fleet_simulation.run(settings, **kw),
     "serve": lambda settings, **kw: serving_simulation.run(settings, **kw),
+    "serve-net": lambda settings, **kw: server_simulation.run_server(settings, **kw),
+    "bench-client": lambda settings, **kw: server_simulation.run_bench(settings, **kw),
 }
 
 #: Subcommands that take the serving flags (--devices / --routing).
 _SERVING_EXPERIMENTS = ("fleet-sim", "serve")
+
+#: Subcommands that speak the network front door (serve-net / bench-client).
+_NETWORK_EXPERIMENTS = ("serve-net", "bench-client")
 
 _SCALES = {
     "quick": ExperimentSettings.quick,
@@ -139,6 +156,51 @@ def build_parser() -> argparse.ArgumentParser:
         "above; forcing a value always selects the hierarchical fleet)",
     )
     parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="listen/connect address for serve-net and bench-client "
+        "(default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port: serve-net listens here (default 7431; 0 picks a free "
+        "port); bench-client connects here, or self-hosts a loopback server "
+        "when omitted",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve-net serving window in seconds (default 10; 0 serves "
+        "until interrupted)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        help="bench-client request count (default 256)",
+    )
+    parser.add_argument(
+        "--connections",
+        type=int,
+        default=None,
+        help="bench-client concurrent connections (default 2)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="bench-client per-connection in-flight window (default 16)",
+    )
+    parser.add_argument(
+        "--pattern",
+        choices=sorted(PATTERNS),
+        default=None,
+        help="bench-client user-popularity pattern (default zipf)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="enable progress logging to stderr"
     )
     return parser
@@ -193,6 +255,70 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     "layer comparison runs every layer on the serial executor)"
                 )
         result = _EXPERIMENTS[arguments.experiment](settings, **serving_kwargs)
+    elif arguments.experiment in _NETWORK_EXPERIMENTS:
+        if arguments.executor == "serial" and arguments.workers is not None:
+            parser.error(
+                "--workers sizes a concurrent pool; it does not apply to "
+                "--executor serial"
+            )
+        fleet_kwargs = dict(
+            n_devices=arguments.devices,
+            routing=arguments.routing,
+            scheduling=arguments.scheduling,
+            executor=arguments.executor,
+            workers=arguments.workers,
+            regions=arguments.regions,
+        )
+        if arguments.experiment == "serve-net":
+            for flag, value in (
+                ("--requests", arguments.requests),
+                ("--connections", arguments.connections),
+                ("--window", arguments.window),
+                ("--pattern", arguments.pattern),
+            ):
+                if value is not None:
+                    parser.error(
+                        f"{flag} shapes bench-client load; serve-net is the "
+                        "server side"
+                    )
+            network_kwargs = dict(
+                host=arguments.host,
+                port=arguments.port if arguments.port is not None else 7431,
+                slo_target_ms=arguments.deadline_ms,
+                **fleet_kwargs,
+            )
+            if arguments.duration is not None:
+                network_kwargs["duration"] = arguments.duration
+        else:
+            if arguments.duration is not None:
+                parser.error(
+                    "--duration bounds serve-net's serving window; "
+                    "bench-client stops when its requests are answered"
+                )
+            if arguments.port is not None and any(
+                value is not None for value in fleet_kwargs.values()
+            ):
+                parser.error(
+                    "the fleet flags (--devices/--routing/--scheduling/"
+                    "--executor/--workers/--regions) configure bench-client's "
+                    "self-hosted server; an external server at --port already "
+                    "picked its own fleet"
+                )
+            network_kwargs = dict(
+                host=arguments.host,
+                port=arguments.port,
+                deadline_ms=arguments.deadline_ms,
+                **fleet_kwargs,
+            )
+            for key, value in (
+                ("n_requests", arguments.requests),
+                ("connections", arguments.connections),
+                ("window", arguments.window),
+                ("pattern", arguments.pattern),
+            ):
+                if value is not None:
+                    network_kwargs[key] = value
+        result = _EXPERIMENTS[arguments.experiment](settings, **network_kwargs)
     else:
         result = _EXPERIMENTS[arguments.experiment](settings)
     print(result.to_text())

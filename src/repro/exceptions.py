@@ -60,6 +60,19 @@ class RoutingError(ServingError, ConfigurationError):
     """Raised when requests cannot be routed (unknown policy, resized fleet)."""
 
 
+class ClientClosedError(ServingError):
+    """Raised when requests are submitted to a closed serving client, and
+    set on any still-pending futures a ``close()`` had to abandon — a closed
+    client never leaves a future silently unresolved."""
+
+
+class WireProtocolError(ServingError):
+    """Raised when a network peer violates the serving wire protocol
+    (garbage framing, oversized header/payload, an unusable codec, or a
+    connection dropped mid-frame).  Travels over the wire as a typed error
+    frame like every other :class:`ServingError`."""
+
+
 class ExecutorError(ServingError):
     """Raised when a serving executor cannot run a batch (missing engine
     snapshot, unusable worker pool, unknown executor name)."""

@@ -89,6 +89,47 @@ class DeviceStats:
             "deadline_misses": float(self.deadline_misses),
         }
 
+    # -- serialization -------------------------------------------------- #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of this row (native python scalars only).
+
+        The bounded per-request latency history does not travel — it can be
+        megabytes per device and every percentile consumers care about is
+        already aggregated on the owning :class:`RoutingReport`.
+        """
+        return {
+            "device_id": int(self.device_id),
+            "profile": str(self.profile),
+            "requests": int(self.requests),
+            "windows": int(self.windows),
+            "batches": int(self.batches),
+            "busy_seconds": float(self.busy_seconds),
+            "wall_seconds": float(self.wall_seconds),
+            "total_latency_seconds": float(self.total_latency_seconds),
+            "max_queue_depth": int(self.max_queue_depth),
+            "available_at": float(self.available_at),
+            "deadline_requests": int(self.deadline_requests),
+            "deadline_misses": int(self.deadline_misses),
+            "clock": str(self.clock),
+            "throughput": float(self.throughput),
+            "mean_latency_seconds": float(self.mean_latency_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "DeviceStats":
+        """Rebuild a row from :meth:`to_dict` output (derived keys ignored)."""
+        fields = {
+            key: data[key]
+            for key in (
+                "device_id", "profile", "requests", "windows", "batches",
+                "busy_seconds", "wall_seconds", "total_latency_seconds",
+                "max_queue_depth", "available_at", "deadline_requests",
+                "deadline_misses", "clock",
+            )
+            if key in data
+        }
+        return cls(**fields)  # type: ignore[arg-type]
+
 
 @dataclass
 class RoutingReport:
@@ -260,6 +301,87 @@ class RoutingReport:
             "total_failed": float(self.total_failed),
             "deadline_misses": float(self.total_deadline_misses),
         }
+
+    # -- serialization -------------------------------------------------- #
+    def to_dict(
+        self,
+        *,
+        sync_stats: Optional[Dict[str, int]] = None,
+        slo_target_seconds: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """JSON-ready snapshot of the whole report.
+
+        One serialization shared by the network server's stats endpoint,
+        ``pilote bench-client`` and the benchmark artifacts: counters,
+        derived throughput/latency aggregates (p50/p99 from the bounded
+        per-device histories, which themselves do not travel), the deadline
+        breakdown, and optionally the executor's snapshot ``sync_stats``
+        and the :meth:`slo_attainment` at a caller-chosen target.
+        """
+        data: Dict[str, object] = {
+            "clock": self.clock,
+            "devices": len(self.per_device),
+            "total_requests": int(self.total_requests),
+            "total_windows": int(self.total_windows),
+            "total_expired": int(self.total_expired),
+            "total_rejected": int(self.total_rejected),
+            "total_failed": int(self.total_failed),
+            "resolved_requests": int(
+                self.resolved_requests
+                or self.total_requests + self.total_expired + self.total_failed
+            ),
+            "makespan_seconds": float(self.makespan_seconds),
+            "aggregate_throughput": float(self.aggregate_throughput),
+            "engine_wall_seconds": float(self.engine_wall_seconds),
+            "mean_latency_seconds": float(self.mean_latency_seconds),
+            "p50_latency_seconds": self.latency_percentile(50.0),
+            "p99_latency_seconds": self.latency_percentile(99.0),
+            "deadline_breakdown": {
+                key: int(value) for key, value in self.deadline_breakdown().items()
+            },
+            "deadline_attainment": float(self.deadline_attainment),
+            "per_device": {
+                str(device_id): stats.to_dict()
+                for device_id, stats in sorted(self.per_device.items())
+            },
+        }
+        if slo_target_seconds is not None:
+            data["slo_target_seconds"] = float(slo_target_seconds)
+            data["slo_attainment"] = float(self.slo_attainment(slo_target_seconds))
+        if sync_stats is not None:
+            data["sync_stats"] = {
+                key: int(value) for key, value in sync_stats.items()
+            }
+        return data
+
+    def to_json(self, **kwargs) -> str:
+        """:meth:`to_dict` as a JSON string (keys sorted, stable for diffs)."""
+        import json
+
+        return json.dumps(self.to_dict(**kwargs), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RoutingReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Lossy where the export is: per-request latency histories do not
+        travel, so percentile/SLO views on the restored report fall back to
+        their no-history behaviour; every counter, per-device row and
+        derived aggregate that *did* travel is restored exactly.
+        """
+        per_device = {
+            int(device_id): DeviceStats.from_dict(row)
+            for device_id, row in dict(data.get("per_device", {})).items()
+        }
+        return cls(
+            per_device=per_device,
+            total_requests=int(data.get("total_requests", 0)),
+            total_windows=int(data.get("total_windows", 0)),
+            total_expired=int(data.get("total_expired", 0)),
+            total_rejected=int(data.get("total_rejected", 0)),
+            total_failed=int(data.get("total_failed", 0)),
+            resolved_requests=int(data.get("resolved_requests", 0)),
+        )
 
 
 class Router:

@@ -1,0 +1,34 @@
+"""Network front door for the serving stack.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.server.bridge` — :class:`AsyncServingClient`, the asyncio
+  facade over the synchronous :class:`~repro.serving.ServingClient`
+  (event-driven: ``PendingResult`` callbacks → ``asyncio.Future``\\ s, no
+  polling, one pump thread owns the scheduler);
+* :mod:`repro.server.server` — :class:`ServingServer`, an asyncio socket
+  server speaking the length-prefixed wire format of
+  :mod:`repro.server.wire`, with per-connection backpressure and a
+  graceful drain-then-fail-typed shutdown;
+* :mod:`repro.server.client` — :class:`AsyncConnection` plus
+  :func:`run_load`, the closed-loop load generator that reuses
+  :class:`~repro.fleet.TrafficGenerator` streams over the wire and reports
+  e2e percentiles and SLO attainment.
+"""
+
+from repro.server import wire
+from repro.server.bridge import AsyncServingClient, RequestSpec
+from repro.server.client import AsyncConnection, LoadReport, RemoteResponse, run_load
+from repro.server.server import ServerStats, ServingServer
+
+__all__ = [
+    "AsyncConnection",
+    "AsyncServingClient",
+    "LoadReport",
+    "RemoteResponse",
+    "RequestSpec",
+    "ServerStats",
+    "ServingServer",
+    "run_load",
+    "wire",
+]

@@ -52,11 +52,13 @@ multi-core hardware.
 """
 
 from repro.exceptions import (
+    ClientClosedError,
     DeadlineExceededError,
     ExecutorError,
     InvalidRequestError,
     RoutingError,
     ServingError,
+    WireProtocolError,
     WorkerDiedError,
 )
 from repro.serving.executor import (
@@ -146,4 +148,6 @@ __all__ = [
     "RoutingError",
     "ExecutorError",
     "WorkerDiedError",
+    "ClientClosedError",
+    "WireProtocolError",
 ]

@@ -40,7 +40,7 @@ import numpy as np
 from repro.edge.device import DeviceProfile, EdgeDevice
 from repro.edge.inference import InferenceEngine
 from repro.edge.magneto import MagnetoPlatform
-from repro.exceptions import RoutingError, ServingError
+from repro.exceptions import ClientClosedError, RoutingError, ServingError
 from repro.fleet.coordinator import (
     FleetCoordinator,
     FleetDevice,
@@ -144,6 +144,7 @@ class ServingClient:
             executor=executor, workers=workers,
         )
         self._coordinator = coordinator
+        self._closed = False
         self.label = label
 
     # ------------------------------------------------------------------ #
@@ -162,8 +163,30 @@ class ServingClient:
         """Name of the active executor (``serial``/``thread``/``process``)."""
         return self._scheduler.executor.name
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run; submits raise typed afterwards."""
+        return self._closed
+
     def close(self) -> None:
-        """Release the executor's worker pools (no-op for serial clients)."""
+        """Close the client: fail still-pending futures typed, release pools.
+
+        Idempotent.  Any request submitted but not yet drained completes
+        with :class:`~repro.exceptions.ClientClosedError` (counted in
+        ``RoutingReport.total_failed``) rather than being dropped, and
+        further :meth:`submit`/:meth:`submit_many` calls raise the same
+        typed error instead of failing obscurely inside a released
+        executor.  :meth:`report` keeps working after close.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._scheduler.fail_pending(
+            ClientClosedError(
+                "serving client closed with requests still pending; their "
+                "futures were failed with this error instead of being dropped"
+            )
+        )
         self._scheduler.close()
 
     def __enter__(self) -> "ServingClient":
@@ -198,6 +221,11 @@ class ServingClient:
         reaches it).  Under an active A/B rollout, each user is additionally
         confined to their cohort's devices.
         """
+        if self._closed:
+            raise ClientClosedError(
+                "cannot submit to a closed serving client; build a new one "
+                "with repro.serving.serve(...)"
+            )
         rollout = (
             self._coordinator.active_rollout if self._coordinator is not None else None
         )
@@ -242,9 +270,24 @@ class ServingClient:
         self.drain()
         return pending.result().class_ids
 
+    def clock_now(self) -> float:
+        """Current reading of the scheduler clock (stamps live arrivals)."""
+        return self._scheduler.clock_now()
+
     def report(self) -> RoutingReport:
         """Per-device serving statistics on the simulated clock."""
         return self._scheduler.report()
+
+    def sync_stats(self) -> Optional[dict]:
+        """The executor's snapshot-shipping counters, when it keeps any.
+
+        ``{"bytes_shipped", "full_syncs", "delta_syncs"}`` for the process
+        executor, ``None`` for executors that ship nothing; feeds the
+        report's JSON export (``RoutingReport.to_dict(sync_stats=...)``).
+        """
+        executor = self._scheduler.executor
+        stats = getattr(executor, "sync_stats", None)
+        return dict(stats()) if callable(stats) else None
 
     def replace_device(self, device_id: int, replacement) -> None:
         """Swap a device; queued requests are served by the replacement."""

@@ -520,6 +520,43 @@ class EventLoopScheduler:
         """Requests submitted but not yet answered."""
         return sum(lane.pending_requests() for lane in self._lanes)
 
+    def clock_now(self) -> float:
+        """The scheduler clock's current reading, for stamping live arrivals.
+
+        The latest lane completion so far — exactly where the concurrent
+        drain anchors its measured clock (``base = max(available_at)``) and
+        the earliest instant a new submission could be served everywhere.
+        Network front doors stamp ``arrival_seconds`` from this, so latency
+        accounting stays monotone across drains instead of every wire
+        request claiming it arrived at time zero (which would eventually
+        mass-reject live traffic through admission control as the lane
+        clocks run ahead of it).
+        """
+        return float(self._available_at.max()) if self._n_lanes else 0.0
+
+    def fail_pending(self, error: BaseException) -> int:
+        """Resolve every still-queued request with ``error``, exactly once.
+
+        The close path's guarantee that no future is silently dropped:
+        every batch still sitting in a lane is finished with the typed
+        error (counted in ``total_failed``), firing any registered
+        done-callbacks.  Returns the number of requests failed.
+        """
+        failed = 0
+        for position, lane in enumerate(self._lanes):
+            while lane:
+                batch = lane.pop(float("inf"))
+                if batch is None:
+                    break
+                n_requests = len(batch.requests)
+                self._pending_counts[position] -= n_requests
+                batch.finish(
+                    None, -1, float(self._available_at[position]), error=error
+                )
+                failed += n_requests
+        self._total_failed += failed
+        return failed
+
     def lane_loads(self, now: float) -> np.ndarray:
         """Per-lane load estimate (in requests) for the balancing policies.
 
