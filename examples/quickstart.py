@@ -39,6 +39,18 @@ fan-out): regions serve one pooled copy-on-write template each, devices are
 only materialised when they drift, and re-syncs ship snapshot *deltas* — so
 a million-device fleet runs in megabytes, not terabytes.
 
+Self-tuning control
+-------------------
+
+Under overload or failures the serving stack can close the loop on its own
+SLO reports: ``serve(..., adaptive=True)`` attaches the default control
+stack from :mod:`repro.control` — load-shedding admission control, hedged
+requests that race a clone past a dying or backlogged lane, and an
+autoscaler that grows/shrinks worker pools from queue depth and rolling
+deadline attainment. ``examples/control_plane.py`` walks through the
+controllers and the chaos suite (``pilote chaos``) that proves no request
+is ever dropped or double-answered while they act.
+
 Network serving
 ---------------
 

@@ -23,6 +23,14 @@ delta snapshot shipping make ``--devices 1000000`` tractable.  ``pilote serve`` 
 serving layers (bare learner, MAGNETO platform, fleet) over the unified
 :mod:`repro.serving` API.
 
+``pilote fleet-sim --adaptive`` attaches the self-tuning control plane
+(:mod:`repro.control`) to the simulation's serving client — load-shedding
+admission control, hedged requests, pool autoscaling — and reports each
+controller's counters; ``pilote chaos`` runs the failure-injection suite
+(worker-death storms, stragglers, mid-stream restart) in both adaptive and
+static mode and exits non-zero unless every run proves exactly-once
+delivery (``--chaos-scenario`` narrows it to one scenario).
+
 ``pilote serve-net`` opens the network front door (:mod:`repro.server`):
 it builds a serving fleet and answers real socket traffic on
 ``--host``/``--port`` for ``--duration`` seconds (``0`` = until
@@ -53,6 +61,8 @@ from repro.experiments import (
     multi_increment,
     table2,
 )
+from repro.control import CHAOS_SCENARIOS
+from repro.control import simulation as control_simulation
 from repro.experiments.common import ExperimentSettings
 from repro.fleet import simulation as fleet_simulation
 from repro.fleet.traffic import PATTERNS
@@ -74,6 +84,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "serve": lambda settings, **kw: serving_simulation.run(settings, **kw),
     "serve-net": lambda settings, **kw: server_simulation.run_server(settings, **kw),
     "bench-client": lambda settings, **kw: server_simulation.run_bench(settings, **kw),
+    "chaos": lambda settings, **kw: control_simulation.run(settings, **kw),
 }
 
 #: Subcommands that take the serving flags (--devices / --routing).
@@ -201,6 +212,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="bench-client user-popularity pattern (default zipf)",
     )
     parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="attach the self-tuning control plane (load shedding, hedged "
+        "requests, pool autoscaling) to fleet-sim's serving client",
+    )
+    parser.add_argument(
+        "--chaos-scenario",
+        dest="chaos_scenario",
+        choices=sorted(CHAOS_SCENARIOS),
+        default=None,
+        help="run only this chaos scenario (default: the whole suite)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="enable progress logging to stderr"
     )
     return parser
@@ -213,6 +237,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arguments.verbose:
         enable_console_logging()
     settings = _SCALES[arguments.scale](seed=arguments.seed)
+    if arguments.chaos_scenario is not None and arguments.experiment != "chaos":
+        parser.error("--chaos-scenario only applies to the chaos experiment")
+    if arguments.adaptive and arguments.experiment != "fleet-sim":
+        parser.error(
+            "--adaptive attaches the control plane to fleet-sim's serving "
+            "client (chaos always runs both adaptive and static modes)"
+        )
+    if arguments.experiment == "chaos":
+        result = _EXPERIMENTS["chaos"](settings, scenario=arguments.chaos_scenario)
+        print(result.to_text())
+        return 0 if result.all_exactly_once else 1
     if arguments.experiment in _SERVING_EXPERIMENTS:
         serving_kwargs = dict(
             n_devices=arguments.devices,
@@ -238,6 +273,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             serving_kwargs["executor"] = arguments.executor
             serving_kwargs["workers"] = arguments.workers
             serving_kwargs["regions"] = arguments.regions
+            serving_kwargs["adaptive"] = arguments.adaptive
         else:
             if arguments.regions is not None:
                 parser.error(

@@ -1,0 +1,340 @@
+"""Hedged requests: fire a backup attempt when the chosen lane looks late.
+
+On every submitted wave the controller inspects the deadline-carrying
+requests that were queued (not rejected) and, for each one whose lane is
+*at risk* — its projected service start (queue-order aware, via
+``EventLoopScheduler.projected_begin_for``) already lies past the deadline,
+or the lane failed requests inside the signal window (a dying worker fails
+fast, looks idle, and keeps attracting p2c traffic — the failure-vortex
+this signal breaks) — submits a clone of the request on an *alternate*
+lane and wraps both attempts in a :class:`HedgedResult`.
+
+First completion wins; the loser is cancelled (advisory — see
+``PendingResult.cancel``).  Exactly-once accounting, proven by the chaos
+suite and ``RoutingReport``'s counters:
+
+* the caller's future resolves exactly once, with the winner's outcome;
+* a cancelled loser resolves with
+  :class:`~repro.exceptions.RequestCancelledError` and is counted in
+  ``total_cancelled`` — excluded from the SLO denominator, because its
+  logical request *was* answered (by the twin);
+* a loser whose batch reached service anyway is counted as *wasted*
+  (``losers_served``) — duplicated compute, never a duplicated answer;
+* only when **both** attempts fail does the pair fail, with the primary's
+  error (``pairs_failed``).
+
+The alternate lane is the p2c *sibling* where the routing policy exposes
+its candidate pair (:meth:`~repro.serving.routing.PowerOfTwoRouting
+.candidates`), else the healthiest lane by (not-failing, earliest
+projected begin).  A hedge is only fired when the alternate actually
+improves the request's odds — hedging into an equally-doomed lane would
+just double the overload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.control.plane import Controller
+from repro.control.signals import ControlSignals
+from repro.exceptions import ConfigurationError, RequestCancelledError, ServingError
+from repro.serving.protocol import PendingResult, PredictRequest
+
+__all__ = ["HedgedRequests", "HedgedResult", "HedgeStats"]
+
+
+@dataclass
+class HedgeStats:
+    """Exactly-once ledger over every hedged pair.
+
+    After all attempts resolve: ``fired == primary_wins + hedge_wins +
+    pairs_failed`` (each pair settles exactly once) and the losers of the
+    settled-with-a-winner pairs partition as ``losers_cancelled +
+    losers_served + losers_failed == primary_wins + hedge_wins``.
+    """
+
+    fired: int = 0
+    primary_wins: int = 0
+    hedge_wins: int = 0
+    pairs_failed: int = 0
+    losers_cancelled: int = 0
+    losers_served: int = 0
+    losers_failed: int = 0
+
+    @property
+    def settled(self) -> int:
+        return self.primary_wins + self.hedge_wins + self.pairs_failed
+
+    @property
+    def losers_resolved(self) -> int:
+        return self.losers_cancelled + self.losers_served + self.losers_failed
+
+    def consistent(self) -> bool:
+        """The exactly-once invariant over fully-resolved pairs."""
+        return (
+            self.settled == self.fired
+            and self.losers_resolved == self.primary_wins + self.hedge_wins
+        )
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "fired": self.fired,
+            "primary_wins": self.primary_wins,
+            "hedge_wins": self.hedge_wins,
+            "pairs_failed": self.pairs_failed,
+            "losers_cancelled": self.losers_cancelled,
+            "losers_served": self.losers_served,
+            "losers_failed": self.losers_failed,
+        }
+
+
+class HedgedResult(PendingResult):
+    """First-completion-wins pair of attempts for one logical request.
+
+    Presents the :class:`~repro.serving.protocol.PendingResult` interface:
+    done once a winner (or the both-failed outcome) is settled, and
+    resolves with the winner's answer/error exactly once.  Attempt
+    outcomes are observed through done-callbacks on the underlying batch
+    futures, so accounting is driven by the scheduler's own completion
+    path — nothing is polled.
+    """
+
+    __slots__ = ("_primary", "_hedge", "_winner", "_n_failed", "_callbacks", "_stats")
+
+    def __init__(self, request, primary, hedge, stats: HedgeStats) -> None:
+        self.request = request
+        self._primary = primary
+        self._hedge = hedge
+        self._winner = None
+        self._n_failed = 0
+        self._callbacks: Optional[list] = None
+        self._stats = stats
+        # Registration order is irrelevant: _attempt_done is re-entrant-safe
+        # for already-resolved attempts (a hedge rejected at admission fires
+        # immediately, inside this constructor).
+        primary.add_done_callback(self._attempt_done)
+        hedge.add_done_callback(self._attempt_done)
+
+    # -- attempt bookkeeping --------------------------------------------- #
+    def _attempt_done(self, attempt) -> None:
+        error = attempt.exception()
+        stats = self._stats
+        if self._winner is not None:
+            # The pair already settled: this is the loser resolving late.
+            if error is None:
+                stats.losers_served += 1  # wasted compute, not a second answer
+            elif isinstance(error, RequestCancelledError):
+                stats.losers_cancelled += 1
+            else:
+                stats.losers_failed += 1
+            return
+        if error is None:
+            self._winner = attempt
+            if attempt is self._hedge:
+                stats.hedge_wins += 1
+            else:
+                stats.primary_wins += 1
+            loser = self._primary if attempt is self._hedge else self._hedge
+            if loser.done():
+                # The loser failed *before* the pair settled (its callback
+                # ran with no winner yet and only bumped _n_failed) —
+                # classify it here so the loser ledger still partitions.
+                loser_error = loser.exception()
+                if isinstance(loser_error, RequestCancelledError):
+                    stats.losers_cancelled += 1
+                else:
+                    stats.losers_failed += 1
+            else:
+                loser.cancel()
+            self._fire_callbacks()
+            return
+        self._n_failed += 1
+        if self._n_failed >= 2:
+            # Both attempts failed: settle on the primary's error (the
+            # hedge's failure is secondary — it was our speculation).
+            self._winner = self._primary
+            stats.pairs_failed += 1
+            self._fire_callbacks()
+
+    def _fire_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(self)
+
+    # -- PendingResult interface ------------------------------------------ #
+    def done(self) -> bool:
+        return self._winner is not None
+
+    def add_done_callback(self, callback) -> None:
+        if self._winner is not None:
+            callback(self)
+            return
+        if self._callbacks is None:
+            self._callbacks = []
+        self._callbacks.append(callback)
+
+    def _settle(self) -> None:
+        if self._winner is None and not self._primary.done():
+            # exception() drains the owning scheduler; both attempts share
+            # it, so one drain resolves the pair.
+            self._primary.exception()
+        if self._winner is None and not self._hedge.done():
+            self._hedge.exception()
+        if self._winner is None:
+            raise ServingError(
+                "hedged request is still pending; drain() the serving client"
+            )
+
+    def exception(self) -> Optional[BaseException]:
+        self._settle()
+        return self._winner.exception()
+
+    def result(self):
+        self._settle()
+        return self._winner.result()
+
+
+class HedgedRequests(Controller):
+    """Submit-hook controller wrapping at-risk futures in hedged pairs.
+
+    Parameters
+    ----------
+    slack_seconds:
+        Safety margin added to the projected begin before comparing with
+        the deadline (``0`` hedges only projected-certain misses).
+    unhealthy_failures:
+        Failures inside the signal window past which a lane counts as
+        unhealthy (triggering hedges away from it regardless of its
+        projected begin, which a fail-fast lane under-reports).
+    max_hedges_per_wave:
+        Budget bounding speculative load per submission (``None`` = one
+        hedge per at-risk request).
+    """
+
+    name = "hedging"
+
+    def __init__(
+        self,
+        *,
+        slack_seconds: float = 0.0,
+        unhealthy_failures: int = 1,
+        max_hedges_per_wave: Optional[int] = None,
+    ) -> None:
+        if slack_seconds < 0.0:
+            raise ConfigurationError(
+                f"slack_seconds must be >= 0, got {slack_seconds}"
+            )
+        if unhealthy_failures <= 0:
+            raise ConfigurationError(
+                f"unhealthy_failures must be positive, got {unhealthy_failures}"
+            )
+        if max_hedges_per_wave is not None and max_hedges_per_wave < 0:
+            raise ConfigurationError(
+                f"max_hedges_per_wave must be >= 0, got {max_hedges_per_wave}"
+            )
+        self.slack_seconds = float(slack_seconds)
+        self.unhealthy_failures = int(unhealthy_failures)
+        self.max_hedges_per_wave = max_hedges_per_wave
+        #: Exactly-once ledger over every pair this controller fired.
+        self.hedges = HedgeStats()
+
+    # -- plane hook ------------------------------------------------------- #
+    def on_submit(self, requests, futures, signals: ControlSignals):
+        if signals.n_lanes < 2:
+            return futures
+        scheduler = self.plane.scheduler
+        unhealthy = signals.lane_failures >= self.unhealthy_failures
+        budget = (
+            self.max_hedges_per_wave
+            if self.max_hedges_per_wave is not None
+            else len(requests)
+        )
+        out = list(futures)
+        for index, (request, future) in enumerate(zip(requests, out)):
+            if budget <= 0:
+                break
+            deadline = getattr(request, "deadline_seconds", None)
+            if deadline is None:
+                continue
+            primary = scheduler.lane_of(future)
+            if primary is None:
+                continue  # rejected/shed at admission, or a foreign future
+            arrival = float(request.arrival_seconds)
+            projected = scheduler.projected_begin_for(primary, arrival, deadline)
+            at_risk = (
+                projected + self.slack_seconds > deadline or unhealthy[primary]
+            )
+            if not at_risk:
+                continue
+            alternate = self._alternate(
+                request, primary, scheduler, unhealthy, arrival, deadline
+            )
+            if alternate is None:
+                continue
+            hedge_future = self._fire(request, alternate, scheduler)
+            out[index] = HedgedResult(request, future, hedge_future, self.hedges)
+            self.hedges.fired += 1
+            budget -= 1
+        return out
+
+    # -- internals -------------------------------------------------------- #
+    def _alternate(
+        self, request, primary, scheduler, unhealthy, arrival, deadline
+    ) -> Optional[int]:
+        """The lane to hedge onto, or ``None`` when no lane would help."""
+        candidates = getattr(scheduler.policy, "candidates", None)
+        lanes: List[int]
+        if candidates is not None:
+            first, second = candidates(
+                np.asarray([request.user_id], dtype=np.int64)
+            )
+            sibling = int(second[0]) if int(first[0]) == primary else int(first[0])
+            lanes = (
+                [sibling]
+                if sibling != primary
+                else [l for l in range(scheduler.n_devices) if l != primary]
+            )
+        else:
+            lanes = [l for l in range(scheduler.n_devices) if l != primary]
+        best = None
+        best_key = None
+        for lane in lanes:
+            key = (
+                bool(unhealthy[lane]),
+                scheduler.projected_begin_for(lane, arrival, deadline),
+            )
+            if best_key is None or key < best_key:
+                best, best_key = lane, key
+        if best is None:
+            return None
+        alt_unhealthy, alt_projected = best_key
+        if unhealthy[primary] and not alt_unhealthy:
+            return best  # escaping a failing lane always helps
+        if alt_projected + self.slack_seconds <= deadline:
+            return best  # the alternate can actually make the deadline
+        return None  # equally doomed: don't double the overload
+
+    def _fire(self, request, lane, scheduler):
+        """Submit a clone of ``request`` directly onto ``lane``."""
+        clone = PredictRequest(
+            user_id=request.user_id,
+            features=request.features,
+            arrival_seconds=request.arrival_seconds,
+            deadline_seconds=request.deadline_seconds,
+            metadata=getattr(request, "metadata", None),
+            request_id=getattr(request, "request_id", None),
+        )
+        return scheduler.submit_assigned(
+            [clone], np.asarray([lane], dtype=np.int64)
+        )[0]
+
+    # -- telemetry -------------------------------------------------------- #
+    def stats(self) -> Dict[str, int]:
+        return self.hedges.to_dict()
+
+    def describe(self) -> str:
+        return f"hedging(fired={self.hedges.fired})"

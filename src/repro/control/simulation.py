@@ -1,0 +1,90 @@
+"""``pilote chaos`` — run the chaos suite and print the exactly-once ledger.
+
+Each scenario runs twice, with the control plane attached (``adaptive``)
+and without (``static``): the exactly-once invariant must hold in *both*
+modes — the control plane may reshape load, it may never drop or double-
+answer a future.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.control.chaos import CHAOS_SCENARIOS, ChaosRunReport, run_suite
+from repro.exceptions import ConfigurationError
+from repro.experiments.common import ExperimentSettings
+from repro.utils.logging import get_logger
+
+__all__ = ["ChaosSuiteResult", "run"]
+
+logger = get_logger(__name__)
+
+
+@dataclass
+class ChaosSuiteResult:
+    """What ``pilote chaos`` prints: per-mode reports plus the verdict."""
+
+    seed: int
+    adaptive_runs: List[ChaosRunReport] = field(default_factory=list)
+    static_runs: List[ChaosRunReport] = field(default_factory=list)
+
+    @property
+    def all_exactly_once(self) -> bool:
+        return all(
+            run.exactly_once for run in self.adaptive_runs + self.static_runs
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "adaptive": [run.to_dict() for run in self.adaptive_runs],
+            "static": [run.to_dict() for run in self.static_runs],
+            "all_exactly_once": self.all_exactly_once,
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            "Chaos suite: seeded failure injection with exactly-once accounting",
+            f"(seed {self.seed}; every run must satisfy "
+            "sent == answered + failed with no double-fires)",
+            "",
+            "with control plane (adaptive):",
+        ]
+        lines.extend("  " + run.to_text() for run in self.adaptive_runs)
+        lines.append("")
+        lines.append("without control plane (static):")
+        lines.extend("  " + run.to_text() for run in self.static_runs)
+        lines.append("")
+        verdict = "held" if self.all_exactly_once else "VIOLATED"
+        lines.append(f"exactly-once invariant: {verdict} across all runs")
+        return "\n".join(lines)
+
+
+def run(
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    scenario: Optional[str] = None,
+) -> ChaosSuiteResult:
+    """Run the chaos suite (or one named ``scenario``) in both modes."""
+    settings = settings or ExperimentSettings.default()
+    if scenario is not None and scenario not in CHAOS_SCENARIOS:
+        raise ConfigurationError(
+            f"unknown chaos scenario {scenario!r}; available: "
+            f"{sorted(CHAOS_SCENARIOS)}"
+        )
+    names = None if scenario is None else [scenario]
+    result = ChaosSuiteResult(seed=settings.seed)
+    result.adaptive_runs = run_suite(names, adaptive=True, seed=settings.seed)
+    result.static_runs = run_suite(names, adaptive=False, seed=settings.seed)
+    for report in result.adaptive_runs + result.static_runs:
+        logger.info(
+            "chaos %s (%s): sent=%d answered=%d failed=%d exactly_once=%s",
+            report.name,
+            "adaptive" if report.adaptive else "static",
+            report.sent,
+            report.answered,
+            report.failed,
+            report.exactly_once,
+        )
+    return result

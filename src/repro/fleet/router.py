@@ -36,6 +36,12 @@ from repro.fleet.traffic import InferenceRequest
 from repro.utils.hashing import splitmix64
 from repro.utils.rng import RandomState, resolve_rng
 
+#: Rolling-window length (in deadline-carrying request outcomes) for the
+#: recent-attainment signal.  Shared by the per-device rows, the fleet-level
+#: aggregate, and the control plane's signal bus, so the stats endpoint and
+#: the controllers read the same quantity.
+ROLLING_WINDOW = 256
+
 
 @dataclass
 class DeviceStats:
@@ -57,6 +63,19 @@ class DeviceStats:
     #: service are counted fleet-wide in ``RoutingReport.total_expired``.
     deadline_requests: int = 0
     deadline_misses: int = 0
+    #: Requests lost on this device to a raising engine/worker (the
+    #: per-device view of ``RoutingReport.total_failed``).
+    failures: int = 0
+    #: Requests currently queued on this device's lane — a *live* gauge
+    #: (not a counter) maintained by the event-loop scheduler at enqueue
+    #: and service time; always 0 for the legacy tick drain.
+    queue_depth: int = 0
+    #: Rolling deadline outcomes (1 = met, 0 = missed/expired/rejected) for
+    #: the most recent deadline-carrying requests on this lane, bounded to
+    #: ``2 * ROLLING_WINDOW`` entries; :attr:`rolling_deadline_attainment`
+    #: reads the last ``ROLLING_WINDOW``.  Only the event-loop scheduler
+    #: populates it.
+    recent_deadlines: List[int] = field(default_factory=list, repr=False)
     #: Per-request simulated latencies; populated by the event-loop scheduler
     #: (the legacy tick drain only tracks the aggregate) for percentile views.
     #: Bounded to the scheduler's most recent LATENCY_HISTORY_CAP requests.
@@ -76,6 +95,24 @@ class DeviceStats:
     @property
     def mean_latency_seconds(self) -> float:
         return self.total_latency_seconds / self.requests if self.requests else 0.0
+
+    @property
+    def rolling_deadline_attainment(self) -> float:
+        """Fraction of the last ``ROLLING_WINDOW`` deadline-carrying
+        requests on this lane that met their deadline; ``1.0`` with no
+        recent deadline traffic (vacuously attained, matching the
+        cumulative :attr:`RoutingReport.deadline_attainment` convention)."""
+        recent = self.recent_deadlines[-ROLLING_WINDOW:]
+        if not recent:
+            return 1.0
+        return sum(recent) / len(recent)
+
+    def note_deadline(self, hit: bool) -> None:
+        """Append one deadline outcome to the rolling window (bounded)."""
+        recent = self.recent_deadlines
+        recent.append(1 if hit else 0)
+        if len(recent) > 2 * ROLLING_WINDOW:
+            del recent[: len(recent) - ROLLING_WINDOW]
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -110,6 +147,10 @@ class DeviceStats:
             "available_at": float(self.available_at),
             "deadline_requests": int(self.deadline_requests),
             "deadline_misses": int(self.deadline_misses),
+            "failures": int(self.failures),
+            "queue_depth": int(self.queue_depth),
+            "rolling_deadline_attainment": float(self.rolling_deadline_attainment),
+            "rolling_window": min(len(self.recent_deadlines), ROLLING_WINDOW),
             "clock": str(self.clock),
             "throughput": float(self.throughput),
             "mean_latency_seconds": float(self.mean_latency_seconds),
@@ -124,7 +165,7 @@ class DeviceStats:
                 "device_id", "profile", "requests", "windows", "batches",
                 "busy_seconds", "wall_seconds", "total_latency_seconds",
                 "max_queue_depth", "available_at", "deadline_requests",
-                "deadline_misses", "clock",
+                "deadline_misses", "failures", "queue_depth", "clock",
             )
             if key in data
         }
@@ -152,6 +193,16 @@ class RoutingReport:
     total_expired: int = 0
     total_rejected: int = 0
     total_failed: int = 0
+    #: Subset of ``total_rejected`` failed by load-shedding admission
+    #: control (the control plane's :class:`RequestSheddedError` path)
+    #: rather than by an arithmetically unmeetable deadline.
+    total_shed: int = 0
+    #: Queued requests cancelled before service (hedged-request losers,
+    #: failed with :class:`RequestCancelledError`).  *Not* part of
+    #: ``total_expired``/``total_failed`` and excluded from SLO
+    #: denominators: each cancelled attempt's logical request was answered
+    #: exactly once by its winning twin.
+    total_cancelled: int = 0
     #: All-time count of requests resolved one way or another — served +
     #: expired (incl. rejected) + failed.  Unlike the per-device latency
     #: history (bounded to ``LATENCY_HISTORY_CAP`` samples), this never
@@ -209,6 +260,24 @@ class RoutingReport:
     @property
     def p99_latency_seconds(self) -> float:
         return self.latency_percentile(99.0)
+
+    @property
+    def total_queue_depth(self) -> int:
+        """Requests currently queued across the fleet (live gauge)."""
+        return sum(s.queue_depth for s in self.per_device.values())
+
+    @property
+    def rolling_deadline_attainment(self) -> float:
+        """Fleet-wide rolling deadline attainment over each lane's most
+        recent :data:`ROLLING_WINDOW` outcomes; ``1.0`` with no recent
+        deadline traffic."""
+        hits = 0
+        total = 0
+        for stats in self.per_device.values():
+            recent = stats.recent_deadlines[-ROLLING_WINDOW:]
+            hits += sum(recent)
+            total += len(recent)
+        return hits / total if total else 1.0
 
     # -- deadline / SLO accounting ------------------------------------- #
     @property
@@ -326,6 +395,10 @@ class RoutingReport:
             "total_expired": int(self.total_expired),
             "total_rejected": int(self.total_rejected),
             "total_failed": int(self.total_failed),
+            "total_shed": int(self.total_shed),
+            "total_cancelled": int(self.total_cancelled),
+            "total_queue_depth": int(self.total_queue_depth),
+            "rolling_deadline_attainment": float(self.rolling_deadline_attainment),
             "resolved_requests": int(
                 self.resolved_requests
                 or self.total_requests + self.total_expired + self.total_failed
@@ -380,6 +453,8 @@ class RoutingReport:
             total_expired=int(data.get("total_expired", 0)),
             total_rejected=int(data.get("total_rejected", 0)),
             total_failed=int(data.get("total_failed", 0)),
+            total_shed=int(data.get("total_shed", 0)),
+            total_cancelled=int(data.get("total_cancelled", 0)),
             resolved_requests=int(data.get("resolved_requests", 0)),
         )
 
@@ -602,6 +677,9 @@ def _merged_stats(base: DeviceStats, extra: DeviceStats) -> DeviceStats:
         available_at=max(base.available_at, extra.available_at),
         deadline_requests=base.deadline_requests + extra.deadline_requests,
         deadline_misses=base.deadline_misses + extra.deadline_misses,
+        failures=base.failures + extra.failures,
+        queue_depth=base.queue_depth + extra.queue_depth,
+        recent_deadlines=base.recent_deadlines + extra.recent_deadlines,
         latencies=base.latencies + extra.latencies,
         clock=base.clock if base.clock == extra.clock else "mixed",
     )

@@ -79,6 +79,7 @@ class FleetSimulationResult:
     deadline_ms: Optional[float] = None
     executor_name: str = "serial"
     n_regions: Optional[int] = None
+    control_stats: Optional[Dict[str, object]] = None
     peak_rss_bytes: int = 0
     deploy_bytes: int = 0
     deploy_shipments: int = 0
@@ -116,6 +117,18 @@ class FleetSimulationResult:
                 f"{breakdown['missed']} missed, {breakdown['expired']} expired, "
                 f"{breakdown['failed']} failed "
                 f"(attainment {self.routing.deadline_attainment:.4f})"
+            )
+        if self.control_stats is not None:
+            shed = self.routing.total_shed
+            cancelled = self.routing.total_cancelled
+            hedging = self.control_stats.get("hedging", {})
+            autoscaler = self.control_stats.get("autoscaler", {})
+            lines.append(
+                "control plane: "
+                f"{', '.join(self.control_stats.get('controllers', []))}; "
+                f"shed {shed}, hedges {hedging.get('fired', 0)} "
+                f"(cancelled {cancelled}), "
+                f"resizes {autoscaler.get('actions', 0)}"
             )
         lines.extend([
             "",
@@ -168,6 +181,7 @@ def run(
     executor: Optional[str] = None,
     workers: Optional[int] = None,
     regions: Optional[int] = None,
+    adaptive: bool = False,
 ) -> FleetSimulationResult:
     """Run one fleet simulation at the given experiment scale.
 
@@ -286,7 +300,7 @@ def run(
     traffic = TrafficGenerator(data_scenario.test, workload, seed=settings.seed)
     client = serve(
         fleet, routing=routing, scheduling=scheduling, seed=settings.seed,
-        executor=executor, workers=workers,
+        executor=executor, workers=workers, adaptive=adaptive,
     )
     try:
         for tick_index, requests in enumerate(traffic.ticks()):
@@ -295,6 +309,7 @@ def run(
             client.drain()  # per-tick drain keeps increments ordered between ticks
         fleet.run_due_increments(max(schedule.values()))  # anything past the stream
         routing_report = client.report()
+        control_stats = client.control_stats()
         executor_instance = client.scheduler.executor
     finally:
         client.close()  # release executor worker pools, if any
@@ -383,4 +398,5 @@ def run(
         resync_bytes=int(resync.get("bytes_shipped", 0)),
         resync_full=int(resync.get("full_syncs", 0)),
         resync_delta=int(resync.get("delta_syncs", 0)),
+        control_stats=control_stats,
     )

@@ -197,6 +197,15 @@ class AsyncServingClient:
 
         return await self._loop.run_in_executor(self._thread, _build)
 
+    async def control_stats(self) -> Optional[Dict[str, Any]]:
+        """The wrapped client's control-plane telemetry (``None`` if none).
+
+        Same pump-thread serialization as :meth:`report_dict`.
+        """
+        return await self._loop.run_in_executor(
+            self._thread, self._client.control_stats
+        )
+
     async def aclose(self) -> None:
         """Stop the pump and close the wrapped client (idempotent).
 

@@ -398,6 +398,9 @@ class ServingServer:
             )
         )
         data = {"report": report, "server": self.stats.to_dict()}
+        control = await self.bridge.control_stats()
+        if control is not None:
+            data["control"] = control
         if self.slo_target_ms is not None:
             data["server"]["slo_target_ms"] = self.slo_target_ms
             data["server"]["slo_attainment"] = self.stats.slo_attainment(

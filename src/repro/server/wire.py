@@ -49,6 +49,8 @@ from repro.exceptions import (
     DeadlineExceededError,
     ExecutorError,
     InvalidRequestError,
+    RequestCancelledError,
+    RequestSheddedError,
     RoutingError,
     ServingError,
     WireProtocolError,
@@ -112,6 +114,8 @@ WIRE_ERRORS: Dict[str, type] = {
         WorkerDiedError,
         ClientClosedError,
         WireProtocolError,
+        RequestSheddedError,
+        RequestCancelledError,
     )
 }
 

@@ -56,6 +56,8 @@ from repro.exceptions import (
     DeadlineExceededError,
     ExecutorError,
     InvalidRequestError,
+    RequestCancelledError,
+    RequestSheddedError,
     RoutingError,
     ServingError,
     WireProtocolError,
@@ -150,4 +152,6 @@ __all__ = [
     "WorkerDiedError",
     "ClientClosedError",
     "WireProtocolError",
+    "RequestSheddedError",
+    "RequestCancelledError",
 ]

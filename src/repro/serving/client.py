@@ -146,6 +146,8 @@ class ServingClient:
         self._coordinator = coordinator
         self._closed = False
         self.label = label
+        #: Attached :class:`~repro.control.ControlPlane`, if any.
+        self.control = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -230,23 +232,53 @@ class ServingClient:
             self._coordinator.active_rollout if self._coordinator is not None else None
         )
         if rollout is not None and rollout.routes_users:
-            return self._submit_cohorted(requests, rollout)
-        lanes = self._deployed_lanes()
-        if lanes is None:
-            return self._scheduler.submit_many(requests)
-        if not requests:
-            return []
-        user_ids = np.fromiter(
-            (r.user_id for r in requests), dtype=np.int64, count=len(requests)
-        )
-        assignment = self._scheduler.policy.assign_batch(
-            requests, user_ids, self._scheduler, lanes=lanes
-        )
-        return self._scheduler.submit_assigned(requests, assignment)
+            futures = self._submit_cohorted(requests, rollout)
+        else:
+            lanes = self._deployed_lanes()
+            if lanes is None:
+                futures = self._scheduler.submit_many(requests)
+            elif not requests:
+                futures = []
+            else:
+                user_ids = np.fromiter(
+                    (r.user_id for r in requests), dtype=np.int64, count=len(requests)
+                )
+                assignment = self._scheduler.policy.assign_batch(
+                    requests, user_ids, self._scheduler, lanes=lanes
+                )
+                futures = self._scheduler.submit_assigned(requests, assignment)
+        # Every submit path funnels through the control plane (when one is
+        # attached): controllers see the queued wave and may replace entries
+        # (hedged pairs) or act on the pre-drain signals (autoscaling).
+        if self.control is not None and requests:
+            futures = self.control.after_submit(requests, futures)
+        return futures
 
     def drain(self) -> int:
         """Run the event loop until every pending request is answered."""
-        return self._scheduler.drain()
+        drained = self._scheduler.drain()
+        if self.control is not None:
+            self.control.after_drain()
+            # A controller's tick may itself queue work (none of the stock
+            # controllers do, but the hook allows it) — never leave it behind.
+            if self._scheduler.pending_requests:
+                drained += self._scheduler.drain()
+        return drained
+
+    # ------------------------------------------------------------------ #
+    def attach_control(self, plane) -> None:
+        """Install a :class:`~repro.control.ControlPlane` on this client.
+
+        Called by the plane's constructor; afterwards every
+        :meth:`submit_many` wave and every :meth:`drain` flow through the
+        plane's hooks.  Detach by setting :attr:`control` back to ``None``
+        (and clearing ``scheduler.admission`` if a shedder installed itself).
+        """
+        self.control = plane
+
+    def control_stats(self) -> Optional[dict]:
+        """The attached control plane's telemetry, or ``None``."""
+        return self.control.stats() if self.control is not None else None
 
     def predict(
         self,
@@ -377,6 +409,7 @@ def serve(
     scheduling: str = "fifo",
     executor: Union[str, Executor, None] = None,
     workers: Optional[int] = None,
+    adaptive: bool = False,
 ) -> ServingClient:
     """Build a :class:`ServingClient` from any serving-capable object.
 
@@ -390,7 +423,10 @@ def serve(
     order (``"fifo"`` arrival order or ``"edf"`` earliest-deadline-first);
     ``executor`` picks where batches run (``"serial"`` inline on the
     simulated clock, ``"thread"``, or ``"process"`` for real multi-process
-    workers sized by ``workers``).
+    workers sized by ``workers``).  ``adaptive=True`` attaches the default
+    :class:`~repro.control.ControlPlane` stack (load shedding, hedged
+    requests where the fleet has sibling lanes, pool autoscaling where the
+    executor is resizable) to the built client.
     """
     from repro.core.pilote import PILOTE  # deferred: core must not import serving
 
@@ -398,6 +434,16 @@ def serve(
         routing=routing, seed=seed, scheduling=scheduling,
         executor=executor, workers=workers,
     )
+    client = _build_client(target, options, PILOTE)
+    if adaptive:
+        from repro.control import ControlPlane  # deferred: control imports serving
+
+        ControlPlane(client)
+    return client
+
+
+def _build_client(target, options: dict, PILOTE) -> ServingClient:
+    routing = options["routing"]
     if isinstance(target, HierarchicalFleetCoordinator):
         if not target.regions:
             raise ServingError("the fleet has no devices; provision() first")

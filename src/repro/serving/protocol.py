@@ -237,3 +237,18 @@ class PendingResult:
     def result(self) -> PredictResponse:
         """The completed response; raises the typed error on failure."""
         raise NotImplementedError
+
+    def cancel(self) -> bool:
+        """Best-effort cancellation of a still-queued request.
+
+        Returns ``True`` when the request is marked for cancellation (it
+        will resolve with :class:`~repro.exceptions.RequestCancelledError`
+        unless its batch reaches service first — cancellation is advisory,
+        never retroactive).  The base implementation is not cancellable and
+        returns ``False``; the scheduler's batch-backed future overrides.
+        """
+        return False
+
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was accepted for this future."""
+        return False

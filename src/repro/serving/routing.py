@@ -216,6 +216,20 @@ class PowerOfTwoRouting(RoutingPolicy):
         self._salt_a = _draw_salt(rng)
         self._salt_b = _draw_salt(rng)
 
+    def candidates(self, user_ids) -> tuple:
+        """Each user's two hash-candidate lanes ``(first, second)``.
+
+        The same salted pair :meth:`assign_batch` chooses between — the
+        hedging controller uses it to find a request's p2c *sibling* (the
+        candidate the original assignment passed over) without re-deriving
+        the policy's salts.
+        """
+        ids = np.asarray(user_ids, dtype=np.int64)
+        n = np.uint64(self._n_lanes)
+        first = (splitmix64(ids, self._salt_a) % n).astype(np.int64)
+        second = (splitmix64(ids, self._salt_b) % n).astype(np.int64)
+        return first, second
+
     def assign_batch(self, requests, user_ids, scheduler, lanes=None):
         out = np.empty(len(requests), dtype=np.int64)
         if not len(requests):

@@ -87,6 +87,7 @@ import numpy as np
 from repro.exceptions import (
     ConfigurationError,
     DeadlineExceededError,
+    RequestCancelledError,
     RoutingError,
     ServingError,
 )
@@ -123,7 +124,7 @@ class _Batch:
         "requests", "futures", "arrival", "scheduler",
         "outputs", "device_id", "completion", "finished",
         "error", "errors", "watchers", "_offsets",
-        "deadline", "has_deadlines",
+        "deadline", "has_deadlines", "lane", "n_cancelled",
     )
 
     def __init__(self, arrival: float, scheduler: "EventLoopScheduler") -> None:
@@ -141,6 +142,8 @@ class _Batch:
         self._offsets: Optional[np.ndarray] = None
         self.deadline: Optional[float] = None  # shared EDF key, if any
         self.has_deadlines = False  # any request carries a deadline
+        self.lane = -1  # queue position, set at enqueue (feeds lane_of)
+        self.n_cancelled = 0  # futures flagged by cancel(), pending pop
 
     def offsets(self) -> np.ndarray:
         """Lazy cumulative window offsets for per-request output slices."""
@@ -225,6 +228,10 @@ class _FifoLane:
     def pending_requests(self) -> int:
         return sum(len(batch.requests) for batch in self.batches)
 
+    def work_ahead(self, deadline: Optional[float]) -> int:
+        # FIFO serves strictly in arrival order: everything queued is ahead.
+        return self.pending_requests()
+
     def batch_for(self, arrival: float, deadline: Optional[float], scheduler) -> _Batch:
         # FIFO coalesces purely by arrival: mixed deadlines share one batch.
         return _queue_batch(self.batches, arrival, scheduler)
@@ -261,6 +268,21 @@ class _EdfLane:
 
     def pending_requests(self) -> int:
         return sum(len(batch.requests) for batch in self._by_key.values())
+
+    def work_ahead(self, deadline: Optional[float]) -> int:
+        """Queued requests EDF would serve before a new one at ``deadline``.
+
+        Only batches with an earlier-or-equal deadline delay it; deadline-
+        less batches sort last and never block deadline work (``None`` here
+        means the *new* request is deadline-less, behind everything).
+        """
+        if deadline is None:
+            return self.pending_requests()
+        return sum(
+            len(batch.requests)
+            for (_, key), batch in self._by_key.items()
+            if key is not None and key <= deadline
+        )
 
     def batch_for(self, arrival: float, deadline: Optional[float], scheduler) -> _Batch:
         key = (arrival, deadline)
@@ -326,12 +348,13 @@ class _RejectedResult(PendingResult):
 class _BatchFuture(PendingResult):
     """Three-slot future viewing its batch's shared completion state."""
 
-    __slots__ = ("_batch", "_index")
+    __slots__ = ("_batch", "_index", "_cancel_flag")
 
     def __init__(self, request, batch: _Batch, index: int) -> None:
         self.request = request
         self._batch = batch
         self._index = index
+        self._cancel_flag = False
 
     # -- PendingResult interface ---------------------------------------- #
     def done(self) -> bool:
@@ -348,6 +371,28 @@ class _BatchFuture(PendingResult):
         if batch.watchers is None:
             batch.watchers = []
         batch.watchers.append((self, callback))
+
+    def cancel(self) -> bool:
+        """Flag this queued request for cancellation (advisory).
+
+        A cancelled request is failed with
+        :class:`~repro.exceptions.RequestCancelledError` when its lane next
+        pops the batch — *before* any engine call, so the cancelled work is
+        never executed.  If the batch reaches service first (or has already
+        finished), the request is served normally and ``cancel`` returns
+        ``False`` retroactively only in the already-done case; a flagged
+        future that still gets served simply resolves with its answer (the
+        hedging layer counts those as wasted, not cancelled).
+        """
+        if self.done():
+            return False
+        if not self._cancel_flag:
+            self._cancel_flag = True
+            self._batch.n_cancelled += 1
+        return True
+
+    def cancelled(self) -> bool:
+        return self._cancel_flag
 
     def exception(self) -> Optional[BaseException]:
         self._ensure_done()
@@ -488,6 +533,20 @@ class EventLoopScheduler:
         self._total_expired = 0    # deadline passed while queued
         self._total_rejected = 0   # deadline already unmeetable at submit
         self._total_failed = 0     # device.infer raised mid-batch
+        self._total_shed = 0       # rejected by the admission hook (⊆ rejected)
+        self._total_cancelled = 0  # cancelled before service (hedge losers)
+        # Cumulative per-lane failed-request counts (survive device
+        # replacement, like the served/busy lane history); the control
+        # plane's window diffing turns these into a recent-failures signal.
+        self._lane_failures = np.zeros(self._n_lanes, dtype=np.int64)
+        #: Optional admission hook consulted for every deadline-carrying
+        #: request that clears the hard floor: an object with
+        #: ``shed(request, position, floor, scheduler) -> Optional[error]``.
+        #: Returning an error rejects the request before it queues (counted
+        #: in both ``total_rejected`` and ``total_shed``).  Installed by the
+        #: control plane's load shedder; ``None`` means admit everything
+        #: the floor admits.
+        self.admission = None
         self._event_counter = 0
 
     # ------------------------------------------------------------------ #
@@ -544,6 +603,7 @@ class EventLoopScheduler:
         """
         failed = 0
         for position, lane in enumerate(self._lanes):
+            lane_failed = 0
             while lane:
                 batch = lane.pop(float("inf"))
                 if batch is None:
@@ -553,7 +613,16 @@ class EventLoopScheduler:
                 batch.finish(
                     None, -1, float(self._available_at[position]), error=error
                 )
-                failed += n_requests
+                lane_failed += n_requests
+            if lane_failed:
+                self._lane_failures[position] += lane_failed
+                device = self._devices[position]
+                stats = self._stats.setdefault(
+                    device.device_id, self._stats_row(device)
+                )
+                stats.failures += lane_failed
+                stats.queue_depth = int(self._pending_counts[position])
+                failed += lane_failed
         self._total_failed += failed
         return failed
 
@@ -577,6 +646,66 @@ class EventLoopScheduler:
             )
             return self._pending_counts + backlog * rates
         return self._pending_counts.copy()
+
+    # -- control-plane signal surface ---------------------------------- #
+    @property
+    def queue_depths(self) -> np.ndarray:
+        """Per-lane queued request counts (a copy; live gauge)."""
+        return self._pending_counts.astype(np.int64)
+
+    @property
+    def lane_failures(self) -> np.ndarray:
+        """Cumulative per-lane failed-request counts (a copy).
+
+        Kept per lane (not per device) so a crash-replace does not reset
+        it; the control plane diffs snapshots of this for its rolling
+        recent-failures signal.
+        """
+        return self._lane_failures.copy()
+
+    def lane_of(self, future) -> Optional[int]:
+        """The lane a still-queued future was enqueued on, else ``None``.
+
+        ``None`` for foreign futures (other schedulers, rejected results,
+        hedged wrappers) — callers use it to tell "queued here" apart from
+        "already resolved at admission".
+        """
+        batch = getattr(future, "_batch", None)
+        if batch is None or batch.scheduler is not self:
+            return None
+        return batch.lane if batch.lane >= 0 else None
+
+    def projected_begin_for(
+        self, position: int, arrival: float, deadline: Optional[float] = None
+    ) -> float:
+        """Estimate when a request arriving now would begin service.
+
+        The lane's hard floor (``max(available_at, arrival)``) plus the
+        queued work that would be served first — *all* of it on a FIFO
+        lane, only earlier-or-equal deadlines on an EDF lane — converted
+        to seconds through the lane's observed service rate.  Before any
+        service history exists the queue term is zero and the floor alone
+        answers (matching admission control, which then stays the only
+        gate).  This is the quantity hedging and load shedding compare
+        against a request's deadline.
+        """
+        base = max(float(self._available_at[position]), arrival)
+        ahead = self._lanes[position].work_ahead(deadline)
+        if not ahead:
+            return base
+        served = float(self._lane_served[position])
+        busy = float(self._lane_busy[position])
+        if served <= 0.0 or busy <= 0.0:
+            return base
+        return base + ahead * (busy / served)
+
+    def _note_queue_depth(self, position: int) -> None:
+        """Mirror a lane's live queued-count gauge onto its stats row."""
+        device = self._devices[position]
+        stats = self._stats.get(device.device_id)
+        if stats is None:
+            stats = self._stats.setdefault(device.device_id, self._stats_row(device))
+        stats.queue_depth = int(self._pending_counts[position])
 
     def _stats_row(self, device) -> DeviceStats:
         """A fresh stats row for a device, on this scheduler's clock."""
@@ -702,6 +831,7 @@ class EventLoopScheduler:
         ):
             return self._enqueue_deadline_segment(position, arrival, segment)
         batch = self._lanes[position].batch_for(arrival, None, self)
+        batch.lane = position
         base = len(batch.requests)
         futures: List[PendingResult] = [
             _BatchFuture(request, batch, base + offset)
@@ -710,6 +840,7 @@ class EventLoopScheduler:
         batch.requests.extend(segment)
         batch.futures.extend(futures)
         self._pending_counts[position] += len(segment)
+        self._note_queue_depth(position)
         return futures
 
     def _enqueue_deadline_segment(
@@ -722,26 +853,39 @@ class EventLoopScheduler:
         floor = max(float(self._available_at[position]), arrival)
         futures: List[Optional[PendingResult]] = [None] * len(segment)
         groups: Dict[Optional[float], List[int]] = {}
+        admission = self.admission
+        rejected = 0
         admitted = 0
         for index, request in enumerate(segment):
             deadline = getattr(request, "deadline_seconds", None)
-            if deadline is not None and floor > deadline:
-                futures[index] = _RejectedResult(
-                    request,
-                    DeadlineExceededError(
-                        f"user {request.user_id}: rejected at admission — "
-                        f"service cannot start before {floor:.6f}s, past the "
-                        f"deadline {deadline:.6f}s"
-                    ),
-                )
-                self._total_rejected += 1
-                continue
+            if deadline is not None:
+                if floor > deadline:
+                    futures[index] = _RejectedResult(
+                        request,
+                        DeadlineExceededError(
+                            f"user {request.user_id}: rejected at admission — "
+                            f"service cannot start before {floor:.6f}s, past "
+                            f"the deadline {deadline:.6f}s"
+                        ),
+                    )
+                    self._total_rejected += 1
+                    rejected += 1
+                    continue
+                if admission is not None:
+                    error = admission.shed(request, position, floor, self)
+                    if error is not None:
+                        futures[index] = _RejectedResult(request, error)
+                        self._total_rejected += 1
+                        self._total_shed += 1
+                        rejected += 1
+                        continue
             # FIFO keeps the legacy arrival-only coalescing; EDF separates
             # co-arriving deadlines so the queue order can discriminate.
             groups.setdefault(deadline if self._edf else None, []).append(index)
             admitted += 1
         for deadline, indices in groups.items():
             batch = lane.batch_for(arrival, deadline, self)
+            batch.lane = position
             if deadline is not None or not self._edf:
                 batch.has_deadlines = True
             base = len(batch.requests)
@@ -752,6 +896,14 @@ class EventLoopScheduler:
                 batch.futures.append(future)
                 futures[index] = future
         self._pending_counts[position] += admitted
+        self._note_queue_depth(position)
+        if rejected:
+            # Rejections are deadline outcomes too: they count against the
+            # rolling attainment window exactly as queue expiries do.
+            device = self._devices[position]
+            stats = self._stats.setdefault(device.device_id, self._stats_row(device))
+            for _ in range(rejected):
+                stats.note_deadline(False)
         return futures  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
@@ -886,10 +1038,11 @@ class EventLoopScheduler:
         # setdefault: a replacement device (crash/restore) may carry a new
         # id; it inherits the lane but gets its own stats row.
         stats = self._stats.setdefault(device.device_id, self._stats_row(device))
+        stats.queue_depth = int(self._pending_counts[position])
         begin = max(self._available_at[position], batch.arrival)
         requests = batch.requests
-        if batch.has_deadlines:
-            requests = self._expire(batch, begin)
+        if batch.has_deadlines or batch.n_cancelled:
+            requests = self._filter_before_service(batch, begin, stats)
             if not requests:
                 return _PreparedBatch(position, batch, device, stats, begin, n_resolved)
         windows = (
@@ -926,6 +1079,8 @@ class EventLoopScheduler:
             # of total_requests (which must keep matching the per-device
             # rows) and are reported in total_failed.
             self._total_failed += len(requests)
+            self._lane_failures[position] += len(requests)
+            stats.failures += len(requests)
             if not fire:
                 return (batch, None, device.device_id, begin, result.error)
             batch.finish(None, device.device_id, begin, error=result.error)
@@ -968,6 +1123,9 @@ class EventLoopScheduler:
                     n_deadline += 1
                     if completion > deadline:
                         n_missed += 1
+                        stats.note_deadline(False)
+                    else:
+                        stats.note_deadline(True)
             stats.deadline_requests += n_deadline
             stats.deadline_misses += n_missed
         self._lane_served[position] += len(requests)
@@ -985,14 +1143,31 @@ class EventLoopScheduler:
         batch.finish(result.outputs, device.device_id, completion)
         return None
 
-    def _expire(self, batch: _Batch, begin: float) -> List:
-        """Fail queued requests whose deadline passed before service began.
+    def _filter_before_service(self, batch: _Batch, begin: float, stats) -> List:
+        """Resolve cancelled and deadline-expired requests ahead of service.
 
-        Kept requests are re-indexed so the batch's shared output offsets
-        stay aligned with the surviving futures.
+        Cancelled futures (hedge losers) fail with
+        :class:`~repro.exceptions.RequestCancelledError` — counted in
+        ``total_cancelled``, *not* against the deadline SLO (their logical
+        request was answered by the winning twin).  Requests whose deadline
+        passed while queued fail with
+        :class:`~repro.exceptions.DeadlineExceededError` (``total_expired``,
+        a rolling-window miss).  Kept requests are re-indexed so the batch's
+        shared output offsets stay aligned with the surviving futures.
         """
         kept_requests, kept_futures = [], []
+        expired = 0
         for request, future in zip(batch.requests, batch.futures):
+            if future._cancel_flag:
+                batch.fail_future(
+                    future,
+                    RequestCancelledError(
+                        f"user {request.user_id}: cancelled before service "
+                        f"(lane reached it at {begin:.6f}s)"
+                    ),
+                )
+                self._total_cancelled += 1
+                continue
             deadline = getattr(request, "deadline_seconds", None)
             if deadline is not None and begin > deadline:
                 batch.fail_future(
@@ -1002,12 +1177,15 @@ class EventLoopScheduler:
                         f"{begin:.6f}s, past the deadline {deadline:.6f}s"
                     ),
                 )
+                expired += 1
+                stats.note_deadline(False)
             else:
                 kept_requests.append(request)
                 kept_futures.append(future)
         for new_index, future in enumerate(kept_futures):
             future._index = new_index
-        self._total_expired += len(batch.requests) - len(kept_requests)
+        self._total_expired += expired
+        batch.n_cancelled = 0
         batch.requests = kept_requests
         batch.futures = kept_futures
         return kept_requests
@@ -1032,5 +1210,7 @@ class EventLoopScheduler:
             total_expired=total_expired,
             total_rejected=self._total_rejected,
             total_failed=self._total_failed,
+            total_shed=self._total_shed,
+            total_cancelled=self._total_cancelled,
             resolved_requests=self._total_requests + total_expired + self._total_failed,
         )
