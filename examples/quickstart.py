@@ -61,6 +61,19 @@ per-client backpressure, graceful shutdown), and ``pilote bench-client``
 drives it closed-loop with end-to-end p50/p99 and SLO attainment reporting
 — see ``examples/async_serving.py`` for the bridge, server and load layers
 used directly from ``asyncio``.
+
+Correctness tooling
+-------------------
+
+The conventions all of the above relies on — seeded RNG streams, the
+simulated-vs-wall clock split, typed serving errors, registry completeness —
+are machine-checked by :mod:`repro.analysis`: ``pilote lint`` runs the
+repo's AST invariant linter (exit non-zero on findings; ``--format json``
+for CI artifacts, ``# repro: noqa[rule-id] reason`` to suppress a justified
+exception), and ``pilote chaos --sanitize`` (or ``REPRO_SANITIZE=1`` for
+the test suite) re-runs the failure-injection scenarios under a runtime
+race sanitizer that asserts the stack's single-writer discipline.  The
+README's "Correctness tooling" section documents every rule id.
 """
 
 from repro import PILOTE, PiloteConfig

@@ -1,0 +1,81 @@
+"""R2 ``repro-clock``: no wall-clock reads in simulated-clock modules.
+
+The scheduler's per-lane ``available_at`` timeline, the fleet's modeled
+device-seconds, and the control plane's windows all run on *simulated*
+clocks; a stray ``time.time()`` silently mixes wall time into a simulated
+quantity.  Code that legitimately measures elapsed wall time goes through the
+single seam :func:`repro.utils.clock.perf_seconds` (the whitelist), which is
+patchable in tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.engine import FileContext, Finding
+from repro.analysis.rules import Rule, register_rule
+from repro.analysis.rules.rng import _dotted
+
+__all__ = ["ClockRule"]
+
+_TIME_FUNCS = frozenset(
+    {"time", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+@register_rule
+class ClockRule(Rule):
+    rule_id = "repro-clock"
+    description = (
+        "no time.time/monotonic/perf_counter or datetime.now in "
+        "simulated-clock modules; use repro.utils.clock.perf_seconds"
+    )
+    scope = (
+        "*serving/*",
+        "*fleet/*",
+        "*control/*",
+        "*server/*",
+        "*edge/profiler.py",
+        "*nn/trainer.py",
+    )
+    whitelist = ("*utils/clock.py",)
+    visits = (ast.ImportFrom, ast.Call)
+
+    def begin_file(self, context: FileContext) -> None:
+        self._tainted_names: Set[str] = set()
+
+    def visit(self, node, context: FileContext) -> List[Finding]:
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in _TIME_FUNCS:
+                        self._tainted_names.add(alias.asname or alias.name)
+            return []
+
+        chain = _dotted(node.func)
+        if not chain:
+            return []
+        # time.<fn>() — root must be exactly `time` so loop.time() is fine.
+        if len(chain) == 2 and chain[0] == "time" and chain[1] in _TIME_FUNCS:
+            return [self._flag(node, context, ".".join(chain))]
+        # datetime.datetime.now() / datetime.now() / date.today()
+        if (
+            len(chain) >= 2
+            and chain[-1] in _DATETIME_FUNCS
+            and chain[0] in ("datetime", "date")
+        ):
+            return [self._flag(node, context, ".".join(chain))]
+        # perf_counter() imported directly from time
+        if len(chain) == 1 and chain[0] in self._tainted_names:
+            return [self._flag(node, context, chain[0])]
+        return []
+
+    def _flag(self, node: ast.Call, context: FileContext, name: str) -> Finding:
+        return self.finding(
+            node,
+            context,
+            f"wall-clock call {name}() in a simulated-clock module; "
+            "use repro.utils.clock.perf_seconds",
+        )

@@ -1,0 +1,122 @@
+"""R3 ``repro-errors``: typed raises and no swallowed exceptions.
+
+In ``serving/``, ``server/``, and ``control/`` every *constructed* raise
+(``raise SomeError(...)``) must be a :class:`~repro.exceptions.ServingError`
+subclass (or :class:`~repro.exceptions.ConfigurationError`, which several
+factories legitimately raise for bad settings) so errors travel the wire and
+the futures as typed frames.  Re-raises (``raise``, ``raise stored_error``)
+are always allowed.  Bare ``except:`` and silent ``except Exception: pass``
+are banned everywhere in scope — they are how double-fired callbacks and
+dropped worker deaths hid in earlier PRs.
+
+The allowed-name set is computed from :mod:`repro.exceptions` at import time,
+so adding a new ``ServingError`` subclass never requires touching this rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from typing import FrozenSet, List
+
+from repro import exceptions as _exceptions
+from repro.analysis.engine import FileContext, Finding
+from repro.analysis.rules import Rule, register_rule
+
+__all__ = ["ErrorTaxonomyRule", "allowed_exception_names"]
+
+
+def allowed_exception_names() -> FrozenSet[str]:
+    """Names of exception classes a serving-stack ``raise`` may construct."""
+    allowed = set()
+    for name, obj in inspect.getmembers(_exceptions, inspect.isclass):
+        if issubclass(obj, (_exceptions.ServingError, _exceptions.ConfigurationError)):
+            allowed.add(name)
+    return frozenset(allowed)
+
+
+def _terminal_name(node: ast.AST) -> str:
+    """``pkg.mod.Cls`` -> ``"Cls"``; bare name -> itself; else ``""``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+@register_rule
+class ErrorTaxonomyRule(Rule):
+    rule_id = "repro-errors"
+    description = (
+        "raises in serving/server/control must construct ServingError "
+        "subclasses; bare except and silent except-pass are banned"
+    )
+    scope = ("*serving/*", "*server/*", "*control/*")
+    visits = (ast.Raise, ast.ExceptHandler)
+
+    _allowed = allowed_exception_names()
+
+    def visit(self, node, context: FileContext) -> List[Finding]:
+        if isinstance(node, ast.Raise):
+            return self._check_raise(node, context)
+        return self._check_handler(node, context)
+
+    def _check_raise(self, node: ast.Raise, context: FileContext) -> List[Finding]:
+        # `raise` (re-raise) and `raise stored_error` (a lowercase Name or an
+        # Attribute holding a previously-captured error) are always allowed.
+        if node.exc is None:
+            return []
+        if isinstance(node.exc, ast.Name):
+            # `raise NotImplementedError` — a bare class name is still a
+            # construction; only class-looking identifiers are checked.
+            name = node.exc.id
+            if not (name[:1].isupper() and name.endswith(("Error", "Exception"))):
+                return []
+            if name in self._allowed:
+                return []
+            return [
+                self.finding(
+                    node,
+                    context,
+                    f"raise {name} is outside the serving error taxonomy; "
+                    "raise a ServingError subclass (see repro.exceptions)",
+                )
+            ]
+        if not isinstance(node.exc, ast.Call):
+            return []
+        name = _terminal_name(node.exc.func)
+        if not name:
+            # raise (make_error())() etc. — can't resolve statically; allow.
+            return []
+        if name in self._allowed:
+            return []
+        return [
+            self.finding(
+                node,
+                context,
+                f"raise {name}(...) is outside the serving error taxonomy; "
+                "raise a ServingError subclass (see repro.exceptions)",
+            )
+        ]
+
+    def _check_handler(
+        self, node: ast.ExceptHandler, context: FileContext
+    ) -> List[Finding]:
+        if node.type is None:
+            return [
+                self.finding(
+                    node, context, "bare except: swallows typed serving errors"
+                )
+            ]
+        broad = _terminal_name(node.type) in ("Exception", "BaseException")
+        silent = len(node.body) == 1 and isinstance(node.body[0], ast.Pass)
+        if broad and silent:
+            return [
+                self.finding(
+                    node,
+                    context,
+                    f"silent except {_terminal_name(node.type)}: pass swallows "
+                    "errors; handle, log, or re-raise",
+                )
+            ]
+        return []

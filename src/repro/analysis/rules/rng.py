@@ -1,0 +1,95 @@
+"""R1 ``repro-rng``: all randomness flows through the seeded RNG seam.
+
+Flags calls on the ``np.random`` / ``numpy.random`` module (including
+``np.random.default_rng`` — seeded or not, it bypasses
+:func:`repro.utils.rng.resolve_rng` and its global-seed hook), calls on the
+stdlib ``random`` module, and calls of names imported *from* either module.
+``utils/rng.py`` is the whitelisted seam.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.engine import FileContext, Finding
+from repro.analysis.rules import Rule, register_rule
+
+__all__ = ["RngRule"]
+
+
+def _dotted(node: ast.AST) -> List[str]:
+    """``a.b.c`` attribute chain as ``["a", "b", "c"]`` (empty if not one)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+@register_rule
+class RngRule(Rule):
+    rule_id = "repro-rng"
+    description = (
+        "no raw np.random.*/random.* calls outside utils/rng.py; "
+        "use repro.utils.rng.resolve_rng"
+    )
+    whitelist = ("*utils/rng.py",)
+    visits = (ast.Import, ast.ImportFrom, ast.Call)
+
+    def begin_file(self, context: FileContext) -> None:
+        # Names the stdlib `random` module is bound to in this file, and
+        # names imported *from* random / numpy.random.
+        self._random_aliases: Set[str] = set()
+        self._tainted_names: Set[str] = set()
+
+    def visit(self, node, context: FileContext) -> List[Finding]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    self._random_aliases.add(alias.asname or alias.name)
+            return []
+        if isinstance(node, ast.ImportFrom):
+            if node.module in ("random", "numpy.random", "np.random"):
+                for alias in node.names:
+                    self._tainted_names.add(alias.asname or alias.name)
+            return []
+
+        chain = _dotted(node.func)
+        if not chain:
+            return []
+        # np.random.<fn>(...) / numpy.random.<fn>(...)
+        if len(chain) >= 3 and chain[0] in ("np", "numpy") and chain[1] == "random":
+            return [
+                self.finding(
+                    node,
+                    context,
+                    f"call to {'.'.join(chain)} bypasses the seeded RNG seam; "
+                    "use repro.utils.rng.resolve_rng",
+                )
+            ]
+        # random.<fn>(...) on the stdlib module (only if this file imported it)
+        if len(chain) >= 2 and chain[0] in self._random_aliases:
+            return [
+                self.finding(
+                    node,
+                    context,
+                    f"call to {'.'.join(chain)} uses the global stdlib RNG; "
+                    "use repro.utils.rng.resolve_rng",
+                )
+            ]
+        # default_rng(...) etc. imported directly from random/numpy.random
+        if len(chain) == 1 and chain[0] in self._tainted_names:
+            return [
+                self.finding(
+                    node,
+                    context,
+                    f"call to {chain[0]} (imported from a random module) bypasses "
+                    "the seeded RNG seam; use repro.utils.rng.resolve_rng",
+                )
+            ]
+        return []

@@ -1,0 +1,127 @@
+"""R6 ``repro-roundtrip``: ``to_dict`` dataclasses round-trip via ``from_dict``.
+
+Public dataclasses that serialize themselves with ``to_dict`` (reports,
+findings, chaos ledgers) feed JSON artifacts consumed by later sessions and
+CI diffs; without a field-complete ``from_dict`` the round trip silently
+drops fields the moment someone adds one.  The rule checks, per public
+``@dataclass`` defining ``to_dict``:
+
+* a ``from_dict`` (class- or static-method) exists, and
+* every public field (annotated assignment, not ``ClassVar``, not declared
+  ``field(..., repr=False)`` — the convention here for derived/bulky state
+  excluded from serialization) appears as a string literal in *both* method
+  bodies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.engine import FileContext, Finding
+from repro.analysis.rules import Rule, register_rule
+
+__all__ = ["RoundTripRule"]
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
+def _is_repr_false_field(value: Optional[ast.expr]) -> bool:
+    """``field(..., repr=False)`` — excluded from serialization by convention."""
+    if not isinstance(value, ast.Call):
+        return False
+    callee = value.func
+    name = callee.attr if isinstance(callee, ast.Attribute) else getattr(callee, "id", "")
+    if name != "field":
+        return False
+    for keyword in value.keywords:
+        if (
+            keyword.arg == "repr"
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is False
+        ):
+            return True
+    return False
+
+
+def _annotation_is_classvar(annotation: ast.expr) -> bool:
+    target = annotation
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Name):
+        return target.id == "ClassVar"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "ClassVar"
+    return False
+
+
+def _string_literals(node: ast.AST) -> Set[str]:
+    return {
+        inner.value
+        for inner in ast.walk(node)
+        if isinstance(inner, ast.Constant) and isinstance(inner.value, str)
+    }
+
+
+@register_rule
+class RoundTripRule(Rule):
+    rule_id = "repro-roundtrip"
+    description = (
+        "public dataclasses with to_dict must define a field-complete "
+        "from_dict (round-trip serialization)"
+    )
+    visits = (ast.ClassDef,)
+
+    def visit(self, node, context: FileContext) -> List[Finding]:
+        if node.name.startswith("_") or not _is_dataclass_decorated(node):
+            return []
+        methods = {
+            stmt.name: stmt
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        to_dict = methods.get("to_dict")
+        if to_dict is None:
+            return []
+        from_dict = methods.get("from_dict")
+        if from_dict is None:
+            return [
+                self.finding(
+                    node,
+                    context,
+                    f"dataclass {node.name} defines to_dict but no from_dict; "
+                    "serialization must round-trip",
+                )
+            ]
+
+        serialized_fields = [
+            stmt.target.id
+            for stmt in node.body
+            if isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and not stmt.target.id.startswith("_")
+            and not _annotation_is_classvar(stmt.annotation)
+            and not _is_repr_false_field(stmt.value)
+        ]
+        findings: List[Finding] = []
+        for method_name, method in (("to_dict", to_dict), ("from_dict", from_dict)):
+            mentioned = _string_literals(method)
+            missing = [name for name in serialized_fields if name not in mentioned]
+            if missing:
+                findings.append(
+                    self.finding(
+                        method,
+                        context,
+                        f"{node.name}.{method_name} does not mention field(s) "
+                        f"{', '.join(missing)}; the round trip drops them",
+                    )
+                )
+        return findings

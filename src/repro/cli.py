@@ -31,6 +31,16 @@ controller's counters; ``pilote chaos`` runs the failure-injection suite
 static mode and exits non-zero unless every run proves exactly-once
 delivery (``--chaos-scenario`` narrows it to one scenario).
 
+``pilote lint`` runs the repo's own static invariant linter
+(:mod:`repro.analysis`) over ``src/repro`` — seeded-RNG discipline, the
+simulated-vs-wall clock split, the typed serving-error taxonomy, registry
+completeness, lock/callback ordering, ``to_dict``/``from_dict`` round-trips —
+and exits non-zero on findings; ``--format json`` emits a machine-readable
+report and ``--select`` narrows the run to a comma-separated rule-id list.
+``pilote chaos --sanitize`` (or ``REPRO_SANITIZE=1``) runs the failure suite
+under the runtime race sanitizer, which asserts the stack's single-writer
+discipline while the chaos scenarios execute.
+
 ``pilote serve-net`` opens the network front door (:mod:`repro.server`):
 it builds a serving fleet and answers real socket traffic on
 ``--host``/``--port`` for ``--duration`` seconds (``0`` = until
@@ -49,6 +59,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.experiments import (
@@ -85,6 +96,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "serve-net": lambda settings, **kw: server_simulation.run_server(settings, **kw),
     "bench-client": lambda settings, **kw: server_simulation.run_bench(settings, **kw),
     "chaos": lambda settings, **kw: control_simulation.run(settings, **kw),
+    "lint": None,  # special-cased in main(): no experiment settings involved
 }
 
 #: Subcommands that take the serving flags (--devices / --routing).
@@ -225,6 +237,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only this chaos scenario (default: the whole suite)",
     )
     parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the chaos suite under the runtime race sanitizer "
+        "(single-writer invariant over scheduler/stats/signal-bus state); "
+        "also enabled by REPRO_SANITIZE=1",
+    )
+    parser.add_argument(
+        "--format",
+        dest="lint_format",
+        choices=("text", "json"),
+        default="text",
+        help="lint report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        dest="lint_select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated lint rule ids to run (default: all; "
+        "see repro.analysis.list_rules)",
+    )
+    parser.add_argument(
+        "--path",
+        dest="lint_path",
+        default=None,
+        help="tree to lint (default: the installed repro package source)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="enable progress logging to stderr"
     )
     return parser
@@ -239,15 +279,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     settings = _SCALES[arguments.scale](seed=arguments.seed)
     if arguments.chaos_scenario is not None and arguments.experiment != "chaos":
         parser.error("--chaos-scenario only applies to the chaos experiment")
+    if arguments.sanitize and arguments.experiment != "chaos":
+        parser.error("--sanitize only applies to the chaos experiment")
+    if arguments.experiment != "lint":
+        if arguments.lint_select is not None:
+            parser.error("--select only applies to the lint experiment")
+        if arguments.lint_path is not None:
+            parser.error("--path only applies to the lint experiment")
     if arguments.adaptive and arguments.experiment != "fleet-sim":
         parser.error(
             "--adaptive attaches the control plane to fleet-sim's serving "
             "client (chaos always runs both adaptive and static modes)"
         )
+    if arguments.experiment == "lint":
+        return _run_lint(parser, arguments)
     if arguments.experiment == "chaos":
-        result = _EXPERIMENTS["chaos"](settings, scenario=arguments.chaos_scenario)
+        from repro.analysis.sanitizer import sanitize_enabled
+
+        result = _EXPERIMENTS["chaos"](
+            settings,
+            scenario=arguments.chaos_scenario,
+            sanitize=arguments.sanitize or sanitize_enabled(),
+        )
         print(result.to_text())
-        return 0 if result.all_exactly_once else 1
+        return 0 if result.passed else 1
     if arguments.experiment in _SERVING_EXPERIMENTS:
         serving_kwargs = dict(
             n_devices=arguments.devices,
@@ -359,6 +414,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         result = _EXPERIMENTS[arguments.experiment](settings)
     print(result.to_text())
     return 0
+
+
+def _run_lint(parser: argparse.ArgumentParser, arguments) -> int:
+    """``pilote lint``: run the static invariant linter, exit 1 on findings."""
+    # Deferred import: the linter is tooling, not part of the serving path.
+    import repro
+    from repro.analysis import render_json, render_text, run_lint
+    from repro.exceptions import AnalysisError
+
+    if arguments.lint_path is not None:
+        root = Path(arguments.lint_path)
+    else:
+        root = Path(repro.__file__).resolve().parent
+    select = (
+        [part.strip() for part in arguments.lint_select.split(",") if part.strip()]
+        if arguments.lint_select is not None
+        else None
+    )
+    try:
+        findings = run_lint(root, select=select)
+    except AnalysisError as error:
+        parser.error(str(error))
+    if arguments.lint_format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -247,6 +247,8 @@ class ChaosRunReport:
     cancelled: int = 0
     deadline_attainment: float = 1.0
     failed_by_type: Dict[str, int] = field(default_factory=dict)
+    sanitized: bool = False
+    sanitizer_violations: int = 0
 
     @property
     def exactly_once(self) -> bool:
@@ -280,8 +282,22 @@ class ChaosRunReport:
             "cancelled": self.cancelled,
             "deadline_attainment": self.deadline_attainment,
             "failed_by_type": dict(self.failed_by_type),
+            "sanitized": self.sanitized,
+            "sanitizer_violations": self.sanitizer_violations,
             "exactly_once": self.exactly_once,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ChaosRunReport":
+        keys = (
+            "name", "scenario", "adaptive", "seed", "sent", "answered",
+            "failed", "unresolved", "double_fired", "server_requests",
+            "hedges_fired", "shed", "cancelled", "deadline_attainment",
+            "failed_by_type", "sanitized", "sanitizer_violations",
+        )
+        data = {key: payload[key] for key in keys if key in payload}
+        data["failed_by_type"] = dict(data.get("failed_by_type", {}))
+        return cls(**data)  # type: ignore[arg-type]
 
     def to_text(self) -> str:
         verdict = "OK" if self.exactly_once else "VIOLATED"
@@ -322,10 +338,19 @@ def _wrap_devices(fleet, spec: ChaosSpec):
     return wrappers
 
 
-def run_chaos(spec: ChaosSpec, *, adaptive: bool = True) -> ChaosRunReport:
-    """Drive one seeded chaos scenario end to end and account every future."""
+def run_chaos(
+    spec: ChaosSpec, *, adaptive: bool = True, sanitize: bool = False
+) -> ChaosRunReport:
+    """Drive one seeded chaos scenario end to end and account every future.
+
+    With ``sanitize=True`` every client the run builds (including the
+    post-restart replacement) is instrumented by a shared
+    :class:`~repro.analysis.Sanitizer`; the report carries the observed
+    cross-thread-write count so the suite doubles as a race detector.
+    """
     # Deferred imports: chaos reuses the server simulation's fleet factory,
     # which imports serving — importing it at module load would cycle.
+    from repro.analysis.sanitizer import Sanitizer
     from repro.fleet.traffic import TrafficGenerator, WorkloadSpec
     from repro.server.simulation import _feature_pool, build_serving_fleet
     from repro.serving import serve
@@ -344,8 +369,10 @@ def run_chaos(spec: ChaosSpec, *, adaptive: bool = True) -> ChaosRunReport:
     )
     traffic = TrafficGenerator(_feature_pool(spec.seed), workload, seed=spec.seed)
 
+    sanitizer = Sanitizer() if sanitize else None
+
     def build_client():
-        return serve(
+        built = serve(
             fleet,
             routing="p2c" if spec.n_devices > 1 else "hash",
             scheduling="edf" if spec.deadline_ms is not None else "fifo",
@@ -354,10 +381,14 @@ def run_chaos(spec: ChaosSpec, *, adaptive: bool = True) -> ChaosRunReport:
             workers=spec.workers,
             adaptive=adaptive,
         )
+        if sanitizer is not None:
+            sanitizer.attach(built)
+        return built
 
     client = build_client()
     report = ChaosRunReport(
-        name=spec.name, scenario=spec.scenario, adaptive=adaptive, seed=spec.seed
+        name=spec.name, scenario=spec.scenario, adaptive=adaptive, seed=spec.seed,
+        sanitized=sanitize,
     )
     futures: List = []
     fired: List[int] = []  # id() per done-callback fire; dupes = double answer
@@ -417,6 +448,8 @@ def run_chaos(spec: ChaosSpec, *, adaptive: bool = True) -> ChaosRunReport:
         report.cancelled += side["cancelled"]
     if retired_reports:
         report.deadline_attainment = retired_reports[-1]["attainment"]
+    if sanitizer is not None:
+        report.sanitizer_violations = len(sanitizer.violations)
     return report
 
 
@@ -451,6 +484,7 @@ def run_suite(
     *,
     adaptive: bool = True,
     seed: Optional[int] = None,
+    sanitize: bool = False,
 ) -> List[ChaosRunReport]:
     """Run the named scenarios (default: the whole registry, in order)."""
     if names is None:
@@ -465,4 +499,4 @@ def run_suite(
         specs = [CHAOS_SCENARIOS[n] for n in names]
     if seed is not None:
         specs = [dataclasses.replace(spec, seed=seed) for spec in specs]
-    return [run_chaos(spec, adaptive=adaptive) for spec in specs]
+    return [run_chaos(spec, adaptive=adaptive, sanitize=sanitize) for spec in specs]

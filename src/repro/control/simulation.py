@@ -35,13 +35,46 @@ class ChaosSuiteResult:
             run.exactly_once for run in self.adaptive_runs + self.static_runs
         )
 
+    @property
+    def sanitized(self) -> bool:
+        """Did every run execute under the runtime race sanitizer?"""
+        runs = self.adaptive_runs + self.static_runs
+        return bool(runs) and all(run.sanitized for run in runs)
+
+    @property
+    def sanitizer_clean(self) -> bool:
+        """No sanitized run observed an unsynchronized cross-thread write."""
+        return all(
+            run.sanitizer_violations == 0
+            for run in self.adaptive_runs + self.static_runs
+        )
+
+    @property
+    def passed(self) -> bool:
+        """The suite verdict: exactly-once held and the sanitizer is clean."""
+        return self.all_exactly_once and self.sanitizer_clean
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "seed": self.seed,
-            "adaptive": [run.to_dict() for run in self.adaptive_runs],
-            "static": [run.to_dict() for run in self.static_runs],
+            "adaptive_runs": [run.to_dict() for run in self.adaptive_runs],
+            "static_runs": [run.to_dict() for run in self.static_runs],
             "all_exactly_once": self.all_exactly_once,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ChaosSuiteResult":
+        return cls(
+            seed=int(payload["seed"]),  # type: ignore[arg-type]
+            adaptive_runs=[
+                ChaosRunReport.from_dict(run)
+                for run in payload.get("adaptive_runs", [])  # type: ignore[union-attr]
+            ],
+            static_runs=[
+                ChaosRunReport.from_dict(run)
+                for run in payload.get("static_runs", [])  # type: ignore[union-attr]
+            ],
+        )
 
     def to_text(self) -> str:
         lines = [
@@ -58,6 +91,13 @@ class ChaosSuiteResult:
         lines.append("")
         verdict = "held" if self.all_exactly_once else "VIOLATED"
         lines.append(f"exactly-once invariant: {verdict} across all runs")
+        if self.sanitized:
+            violations = sum(
+                run.sanitizer_violations
+                for run in self.adaptive_runs + self.static_runs
+            )
+            state = "clean" if self.sanitizer_clean else f"{violations} VIOLATION(S)"
+            lines.append(f"race sanitizer: {state} (single-writer invariant)")
         return "\n".join(lines)
 
 
@@ -65,8 +105,15 @@ def run(
     settings: Optional[ExperimentSettings] = None,
     *,
     scenario: Optional[str] = None,
+    sanitize: bool = False,
 ) -> ChaosSuiteResult:
-    """Run the chaos suite (or one named ``scenario``) in both modes."""
+    """Run the chaos suite (or one named ``scenario``) in both modes.
+
+    ``sanitize=True`` additionally runs every scenario under the runtime
+    race sanitizer (:mod:`repro.analysis.sanitizer`); the suite then only
+    :attr:`~ChaosSuiteResult.passed` when zero cross-thread writes were
+    observed on top of the exactly-once ledger.
+    """
     settings = settings or ExperimentSettings.default()
     if scenario is not None and scenario not in CHAOS_SCENARIOS:
         raise ConfigurationError(
@@ -75,8 +122,12 @@ def run(
         )
     names = None if scenario is None else [scenario]
     result = ChaosSuiteResult(seed=settings.seed)
-    result.adaptive_runs = run_suite(names, adaptive=True, seed=settings.seed)
-    result.static_runs = run_suite(names, adaptive=False, seed=settings.seed)
+    result.adaptive_runs = run_suite(
+        names, adaptive=True, seed=settings.seed, sanitize=sanitize
+    )
+    result.static_runs = run_suite(
+        names, adaptive=False, seed=settings.seed, sanitize=sanitize
+    )
     for report in result.adaptive_runs + result.static_runs:
         logger.info(
             "chaos %s (%s): sent=%d answered=%d failed=%d exactly_once=%s",

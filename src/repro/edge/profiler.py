@@ -9,7 +9,6 @@ window, and the byte footprint of everything the edge stores.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -19,6 +18,7 @@ from repro.core.pilote import PILOTE
 from repro.data.dataset import HARDataset
 from repro.edge.device import DeviceProfile
 from repro.exceptions import NotFittedError
+from repro.utils.clock import perf_seconds
 from repro.nn.trainer import TrainingHistory
 
 
@@ -82,9 +82,9 @@ class EdgeProfiler:
         inference_data: Optional[HARDataset] = None,
     ) -> LatencyReport:
         """Time a full incremental update (and optionally inference afterwards)."""
-        start = time.perf_counter()
+        start = perf_seconds()
         history: TrainingHistory = learner.learn_new_classes(new_train, new_validation)
-        total = time.perf_counter() - start
+        total = perf_seconds() - start
         inference_seconds = 0.0
         if inference_data is not None and inference_data.n_samples > 0:
             inference_seconds = self.profile_inference(learner, inference_data)
@@ -103,7 +103,7 @@ class EdgeProfiler:
             raise NotFittedError("the learner must be trained before profiling inference")
         take = min(self.inference_batch, dataset.n_samples)
         features = dataset.features[:take]
-        start = time.perf_counter()
+        start = perf_seconds()
         learner.predict(features)
-        elapsed = time.perf_counter() - start
+        elapsed = perf_seconds() - start
         return elapsed / take

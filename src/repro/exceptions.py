@@ -107,6 +107,18 @@ class SnapshotMismatchError(ServingError):
     parameter key set); callers fall back to shipping the full snapshot."""
 
 
+class AnalysisError(ReproError):
+    """Raised when the static-analysis tooling itself fails (unknown rule id,
+    unreadable source tree) — never for a lint *finding*, which is data, not
+    an exception."""
+
+
+class SanitizerViolationError(AnalysisError):
+    """Raised by :meth:`repro.analysis.Sanitizer.assert_clean` when the
+    runtime sanitizer recorded an unsynchronized cross-thread write to
+    scheduler, stats, or signal-bus state."""
+
+
 class StaleSnapshotError(ServingError):
     """Raised when an :class:`~repro.edge.inference.EngineSnapshotDelta` is
     applied to a snapshot whose ``state_version`` is not the delta's base;

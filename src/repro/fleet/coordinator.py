@@ -690,7 +690,7 @@ class HierarchicalFleetCoordinator(FleetCoordinator):
                     device.deploy(
                         package,
                         self.config,
-                        seed=np.random.default_rng(
+                        seed=resolve_rng(
                             int(self._device_seeds[device.device_id])
                         ),
                         copy_arrays=False,
@@ -758,7 +758,7 @@ class HierarchicalFleetCoordinator(FleetCoordinator):
             device.deploy(
                 self.package,
                 self.config,
-                seed=np.random.default_rng(int(self._device_seeds[device_id])),
+                seed=resolve_rng(int(self._device_seeds[device_id])),
                 copy_arrays=False,
             )
         region.materialized[device_id] = device

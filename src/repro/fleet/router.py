@@ -23,7 +23,6 @@ callers of the tick-synchronous API.
 
 from __future__ import annotations
 
-import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -33,6 +32,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.fleet.coordinator import FleetDevice
 from repro.fleet.traffic import InferenceRequest
+from repro.utils.clock import perf_seconds
 from repro.utils.hashing import splitmix64
 from repro.utils.rng import RandomState, resolve_rng
 
@@ -590,9 +590,9 @@ class Router:
             batch_requests = [requests[i] for i in indices]
             windows = np.concatenate([r.features for r in batch_requests], axis=0)
 
-            start = time.perf_counter()
+            start = perf_seconds()
             outputs = device.infer(windows)
-            wall = time.perf_counter() - start
+            wall = perf_seconds() - start
             service = wall / device.profile.relative_compute
 
             begin = max(stats.available_at, arrival)

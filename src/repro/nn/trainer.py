@@ -18,6 +18,7 @@ from repro.backend import get_backend
 from repro.nn.module import Module
 from repro.nn.optim import Optimizer
 from repro.nn.schedulers import LRScheduler
+from repro.utils.clock import perf_seconds
 from repro.utils.logging import get_logger
 from repro.utils.rng import RandomState, resolve_rng
 
@@ -158,8 +159,6 @@ class Trainer:
         validation_loss:
             Loss to evaluate on the validation split; defaults to ``batch_loss``.
         """
-        import time
-
         history = TrainingHistory()
         evaluate = validation_loss or batch_loss
         # Materialise the training arrays in the policy compute dtype once,
@@ -171,7 +170,7 @@ class Trainer:
         if self.early_stopping is not None:
             self.early_stopping.reset()
         for epoch in range(self.max_epochs):
-            start_time = time.perf_counter()
+            start_time = perf_seconds()
             self.model.train()
             epoch_losses = []
             for batch_features, batch_labels in self.iterate_minibatches(features, labels):
@@ -185,7 +184,7 @@ class Trainer:
             train_loss = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
             history.train_losses.append(train_loss)
             history.learning_rates.append(self.optimizer.lr)
-            history.epoch_seconds.append(time.perf_counter() - start_time)
+            history.epoch_seconds.append(perf_seconds() - start_time)
 
             if validation is not None:
                 self.model.eval()

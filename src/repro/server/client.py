@@ -19,13 +19,13 @@ from __future__ import annotations
 
 import asyncio
 import json
-import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import ServingError, WireProtocolError
+from repro.utils.clock import perf_seconds
 from repro.server import wire
 
 __all__ = ["AsyncConnection", "RemoteResponse", "LoadReport", "run_load"]
@@ -281,6 +281,28 @@ class LoadReport:
             data["server_stats"] = self.server_stats
         return data
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "LoadReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Derived metrics (throughput, percentiles) are recomputed, not
+        restored; the raw ``e2e_ms`` samples are ``repr=False`` state and do
+        not travel, so a round-tripped report keeps its summary numbers but
+        not per-request latencies.
+        """
+        return cls(
+            connections=int(payload["connections"]),
+            window=int(payload["window"]),
+            sent=int(payload.get("sent", 0)),
+            answered=int(payload.get("answered", 0)),
+            failed_by_type=dict(payload.get("failed_by_type", {})),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            windows_answered=int(payload.get("windows_answered", 0)),
+            deadline_missed=int(payload.get("deadline_missed", 0)),
+            slo_target_ms=payload.get("slo_target_ms"),
+            server_stats=payload.get("server_stats"),
+        )
+
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
@@ -395,10 +417,10 @@ async def run_load(
         await AsyncConnection.open(host, port, codec=codec)
         for _ in range(connections)
     ]
-    start = time.perf_counter()
+    start = perf_seconds()
     try:
         await asyncio.gather(*(worker(connection) for connection in sockets))
-        report.wall_seconds = time.perf_counter() - start
+        report.wall_seconds = perf_seconds() - start
         if fetch_server_stats:
             try:
                 report.server_stats = await sockets[0].stats()

@@ -35,6 +35,7 @@ from repro.serving.client import serve
 from repro.server.client import LoadReport, run_load
 from repro.server.server import ServingServer
 from repro.utils.logging import get_logger
+from repro.utils.rng import resolve_rng
 
 logger = get_logger("server.simulation")
 
@@ -60,7 +61,7 @@ def make_serving_learner(
     seed: int = 0,
 ) -> PILOTE:
     """A pre-trained-looking learner built without gradient training."""
-    rng = np.random.default_rng(seed)
+    rng = resolve_rng(seed)
     learner = PILOTE(config, seed=seed)
     learner.model = EmbeddingNetwork(n_features, config=config, rng=seed)
     learner._old_classes = list(range(n_classes))
@@ -111,7 +112,7 @@ def build_serving_fleet(
 
 def _feature_pool(seed: int, n_rows: int = 4096) -> np.ndarray:
     return (
-        np.random.default_rng(seed)
+        resolve_rng(seed)
         .normal(size=(n_rows, N_FEATURES))
         .astype(np.float32)
     )

@@ -53,7 +53,6 @@ import multiprocessing
 import os
 import pickle
 import queue
-import time
 from concurrent.futures import ThreadPoolExecutor as _ThreadPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Union
@@ -61,6 +60,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.backend import default_dtype, get_backend, precision, resolve_dtype
+from repro.utils.clock import perf_seconds
 from repro.exceptions import (
     ConfigurationError,
     ExecutorError,
@@ -132,7 +132,7 @@ class Executor:
 
     def run(self, tasks: Sequence[LaneTask]) -> List[LaneResult]:
         """Execute every task; returns one :class:`LaneResult` per task."""
-        raise NotImplementedError
+        raise NotImplementedError  # repro: noqa[repro-errors] abstract protocol method
 
     def close(self) -> None:
         """Release worker pools (idempotent; serial executors are a no-op)."""
@@ -167,12 +167,12 @@ def _device_dtype(device) -> np.dtype:
 
 def _timed_infer(device, windows: np.ndarray, position: int) -> LaneResult:
     """Run one batch on a live device, capturing wall time and failure."""
-    start = time.perf_counter()
+    start = perf_seconds()
     try:
         outputs = device.infer(windows)
     except Exception as error:  # typed errors travel through the futures
         return LaneResult(position, None, 0.0, error)
-    return LaneResult(position, outputs, time.perf_counter() - start, None)
+    return LaneResult(position, outputs, perf_seconds() - start, None)
 
 
 class SerialExecutor(Executor):
@@ -354,9 +354,9 @@ def _process_worker_main(worker_index, task_queue, result_queue, backend_name):
                     f"worker {worker_index} holds no engine snapshot for "
                     f"lane {position}"
                 )
-            start = time.perf_counter()
+            start = perf_seconds()
             outputs = engine.predict(windows)
-            wall = time.perf_counter() - start
+            wall = perf_seconds() - start
         except Exception as error:
             result_queue.put((task_id, position, None, 0.0, _portable_error(error)))
         else:

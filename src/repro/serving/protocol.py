@@ -224,19 +224,19 @@ class PendingResult:
 
     def done(self) -> bool:
         """Whether the request has been answered (or failed)."""
-        raise NotImplementedError
+        raise NotImplementedError  # repro: noqa[repro-errors] abstract protocol method
 
     def add_done_callback(self, callback: Callable[["PendingResult"], None]) -> None:
         """Run ``callback(self)`` at completion (immediately if already done)."""
-        raise NotImplementedError
+        raise NotImplementedError  # repro: noqa[repro-errors] abstract protocol method
 
     def exception(self) -> Optional[BaseException]:
         """The request's failure, if any (drains the scheduler if pending)."""
-        raise NotImplementedError
+        raise NotImplementedError  # repro: noqa[repro-errors] abstract protocol method
 
     def result(self) -> PredictResponse:
         """The completed response; raises the typed error on failure."""
-        raise NotImplementedError
+        raise NotImplementedError  # repro: noqa[repro-errors] abstract protocol method
 
     def cancel(self) -> bool:
         """Best-effort cancellation of a still-queued request.

@@ -70,7 +70,7 @@ class RolloutPolicy:
     routes_users: bool = False
 
     def plan(self, device_ids: Sequence[int], rng) -> RolloutPlan:
-        raise NotImplementedError
+        raise NotImplementedError  # repro: noqa[repro-errors] abstract protocol method
 
     def user_cohort(self, user_id: int) -> Optional[str]:
         """Cohort a user's requests must stay inside (``None`` = any)."""

@@ -88,7 +88,7 @@ class RoutingPolicy:
         ``lanes``, when given, is the subset of lane positions this batch may
         use — the hook rollout cohorts use to confine users to their arm.
         """
-        raise NotImplementedError
+        raise NotImplementedError  # repro: noqa[repro-errors] abstract protocol method
 
     def describe(self) -> str:
         return self.name
@@ -124,7 +124,7 @@ class HashRouting(RoutingPolicy):
         return np.where(np.isin(preferred, lanes), preferred, fallback)
 
 
-class RegionalRouting(RoutingPolicy):
+class RegionalRouting(RoutingPolicy):  # repro: noqa[repro-registry] needs a fleet, constructed explicitly
     """Hash routing through a hierarchical fleet's ``device → lane`` map.
 
     Users are hashed to a *device* exactly as :class:`HashRouting` hashes

@@ -78,7 +78,6 @@ measured elapsed time replaces the modeled device-seconds.
 from __future__ import annotations
 
 import heapq
-import time
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -95,6 +94,7 @@ from repro.fleet.router import DeviceStats, RoutingReport
 from repro.serving.executor import Executor, LaneResult, LaneTask, make_executor
 from repro.serving.protocol import PendingResult, PredictResponse
 from repro.serving.routing import RoutingPolicy, make_routing_policy
+from repro.utils.clock import perf_seconds
 from repro.utils.rng import RandomState, resolve_rng
 
 __all__ = ["EventLoopScheduler", "SCHEDULING_ORDERS"]
@@ -970,7 +970,7 @@ class EventLoopScheduler:
         (every shipped workload path does).
         """
         resolved = 0
-        origin = time.perf_counter()
+        origin = perf_seconds()
         base = float(self._available_at.max()) if self._n_lanes else 0.0
         while True:
             prepared_round: List[_PreparedBatch] = []
@@ -993,7 +993,7 @@ class EventLoopScheduler:
                 [LaneTask(p.position, p.windows) for p in prepared_round]
             )
             by_position = {p.position: p for p in prepared_round}
-            measured_now = base + (time.perf_counter() - origin)
+            measured_now = base + (perf_seconds() - origin)
             # Two passes: book every result's clock/stats first, then fire
             # the completions.  A done-callback may re-enter drain(); by the
             # time it can run, every lane clock already reflects this whole

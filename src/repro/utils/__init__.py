@@ -1,5 +1,6 @@
 """Shared utilities: seeded RNG management, validation, serialization, logging."""
 
+from repro.utils.clock import Stopwatch, perf_seconds
 from repro.utils.rng import RandomState, resolve_rng, set_global_seed
 from repro.utils.validation import (
     check_array,
@@ -12,6 +13,8 @@ from repro.utils.serialization import load_npz_state, save_npz_state, state_dict
 from repro.utils.logging import get_logger
 
 __all__ = [
+    "Stopwatch",
+    "perf_seconds",
     "RandomState",
     "resolve_rng",
     "set_global_seed",

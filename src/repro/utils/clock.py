@@ -1,0 +1,56 @@
+"""The library's single wall-clock seam.
+
+Most of the system runs on *simulated* clocks — the scheduler's per-lane
+``available_at`` timeline, the fleet's modeled device-seconds — and the
+static linter (:mod:`repro.analysis`, rule ``repro-clock``) bans direct
+``time.time``/``time.monotonic``/``time.perf_counter`` calls from those
+modules so a wall-clock read can never silently leak into a simulated
+quantity.  Code that *legitimately* measures elapsed wall time (executor
+service timing, the concurrent drain's measured clock, profilers, training
+epoch timing) goes through this module instead: one whitelisted seam,
+greppable, and patchable in tests that need a deterministic clock.
+
+``perf_seconds`` is the only primitive; everything else is sugar over it.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+__all__ = ["perf_seconds", "Stopwatch"]
+
+
+def perf_seconds() -> float:
+    """A monotonic high-resolution reading in seconds (``perf_counter``).
+
+    Only differences are meaningful; the epoch is arbitrary.  This is the
+    one sanctioned wall-clock read — simulated-clock modules import this
+    instead of :mod:`time` so the ``repro-clock`` lint rule has a single
+    whitelist.
+    """
+    return _time.perf_counter()
+
+
+class Stopwatch:
+    """Measure one elapsed interval: ``elapsed = Stopwatch().elapsed()``.
+
+    >>> watch = Stopwatch()
+    >>> ...            # doctest: +SKIP
+    >>> watch.elapsed()  # seconds since construction  # doctest: +SKIP
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = perf_seconds()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return perf_seconds() - self._start
+
+    def restart(self) -> float:
+        """Reset the origin; returns the interval that just ended."""
+        now = perf_seconds()
+        elapsed = now - self._start
+        self._start = now
+        return elapsed

@@ -78,3 +78,32 @@ def incremented_pilote(pretrained_pilote, run_scenario) -> PILOTE:
 def rng() -> np.random.Generator:
     """A fresh deterministic generator per test."""
     return np.random.default_rng(42)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_repro_sanitize: opt this test out of the REPRO_SANITIZE=1 "
+        "race-sanitizer fixture (used by tests that inject races on purpose)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _repro_sanitize(request):
+    """Run every test under the runtime race sanitizer when REPRO_SANITIZE=1.
+
+    Every :class:`~repro.serving.ServingClient` built during the test is
+    instrumented by a shared :class:`~repro.analysis.Sanitizer`; an
+    unsynchronized cross-thread write to scheduler/stats/signal-bus state
+    fails the test with a SanitizerViolationError at teardown.
+    """
+    from repro.analysis.sanitizer import auto_sanitize, sanitize_enabled
+
+    if not sanitize_enabled() or request.node.get_closest_marker(
+        "no_repro_sanitize"
+    ):
+        yield
+        return
+    with auto_sanitize() as sanitizer:
+        yield
+    sanitizer.assert_clean()

@@ -1,0 +1,30 @@
+"""Fixture: a concrete Executor never registered (repro-registry)."""
+
+
+class Executor:
+    """Protocol base (name stays 'abstract' so the base is exempt)."""
+
+    name = "abstract"
+
+
+class RegisteredExecutor(Executor):
+    name = "registered"
+
+
+class ForgottenExecutor(Executor):
+    name = "forgotten"
+
+
+class IndirectlyForgotten(ForgottenExecutor):
+    """Two levels below the protocol — the closure must still find it."""
+
+    name = "indirect"
+
+
+class _PrivateExecutor(Executor):
+    """Underscore prefix: internal helpers are exempt."""
+
+    name = "private"
+
+
+EXECUTORS = {RegisteredExecutor.name: RegisteredExecutor}

@@ -1,0 +1,3 @@
+"""Fixture package: __all__ misses a registered concrete class."""
+
+__all__ = ["SomethingElse"]

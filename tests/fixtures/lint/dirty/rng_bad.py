@@ -1,0 +1,22 @@
+"""Fixture: every flavour of raw-RNG violation (repro-rng)."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def module_call():
+    return np.random.normal(size=4)  # module-level np.random call
+
+
+def seeded_but_raw():
+    return np.random.default_rng(7)  # seeded, but bypasses resolve_rng
+
+
+def stdlib_call():
+    return random.random()  # global stdlib RNG
+
+
+def imported_name():
+    return default_rng(3)  # imported from numpy.random

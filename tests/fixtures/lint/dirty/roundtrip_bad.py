@@ -1,0 +1,31 @@
+"""Fixture: to_dict dataclasses that do not round-trip (repro-roundtrip)."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class OneWayReport:
+    """Has to_dict but no from_dict at all."""
+
+    sent: int = 0
+    answered: int = 0
+
+    def to_dict(self):
+        return {"sent": self.sent, "answered": self.answered}
+
+
+@dataclass
+class LossyReport:
+    """from_dict exists but silently drops a field."""
+
+    sent: int = 0
+    answered: int = 0
+    samples: List[float] = field(default_factory=list, repr=False)
+
+    def to_dict(self):
+        return {"sent": self.sent, "answered": self.answered}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(sent=payload["sent"])  # "answered" never restored

@@ -1,0 +1,21 @@
+"""Fixture: wall-clock reads inside a simulated-clock module (repro-clock)."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def wall_now():
+    return time.time()
+
+
+def measured():
+    return time.perf_counter()
+
+
+def imported_seconds():
+    return perf_counter()
+
+
+def calendar():
+    return datetime.now()

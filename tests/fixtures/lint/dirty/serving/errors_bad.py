@@ -1,0 +1,24 @@
+"""Fixture: untyped raises and swallowed exceptions (repro-errors)."""
+
+
+def untyped_raise(value):
+    if value < 0:
+        raise ValueError("negative")  # not a ServingError subclass
+
+
+def bare_class_raise():
+    raise NotImplementedError  # bare class name, still a construction
+
+
+def bare_except():
+    try:
+        untyped_raise(-1)
+    except:  # bare except
+        return None
+
+
+def silent_swallow():
+    try:
+        untyped_raise(-1)
+    except Exception:
+        pass

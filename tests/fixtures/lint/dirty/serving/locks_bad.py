@@ -1,0 +1,22 @@
+"""Fixture: user callbacks fired while holding a lock (repro-lock-callback)."""
+
+import threading
+
+
+class Notifier:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._callbacks = []
+
+    def fire_held(self, result):
+        with self._lock:
+            for callback in self._callbacks:
+                callback(result)  # user code runs under the lock
+
+    def hook_held(self, plane):
+        with self._lock:
+            plane.after_drain()  # controller hook under the lock
+
+    def future_held(self, future, on_done):
+        with self._lock:
+            future.add_done_callback(on_done)  # may fire inline, under the lock
