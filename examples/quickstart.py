@@ -39,6 +39,17 @@ fan-out): regions serve one pooled copy-on-write template each, devices are
 only materialised when they drift, and re-syncs ship snapshot *deltas* — so
 a million-device fleet runs in megabytes, not terabytes.
 
+Distributed learning
+--------------------
+
+The update itself can go data-parallel: ``PILOTE(config, backend="sharded",
+shards=4)`` fans herding and the prototype refresh out to a persistent
+worker-process pool through fixed-order collectives, bit-exact with the
+serial path (same exemplars, prototypes and predictions — no tolerance).
+``examples/sharded_increment.py`` demonstrates and verifies it; every CLI
+experiment accepts ``--backend sharded --shards N``; and
+``learner.phase_seconds`` reports which phase the pool actually sped up.
+
 Self-tuning control
 -------------------
 

@@ -1,8 +1,9 @@
 """R4 ``repro-registry``: concrete protocol implementations are registered.
 
-The serving stack dispatches executors, controllers, routing/rollout policies
-and backends by name through module-level registry dicts (``EXECUTORS``,
-``CONTROLLERS``, ``ROUTING_POLICIES``, ``ROLLOUT_POLICIES``, ``BACKENDS``).
+The serving stack dispatches executors, controllers, routing/rollout policies,
+backends and collective transports by name through module-level registry dicts
+(``EXECUTORS``, ``CONTROLLERS``, ``ROUTING_POLICIES``, ``ROLLOUT_POLICIES``,
+``BACKENDS``, ``COLLECTIVES``).
 A concrete subclass that never lands in its registry is silently
 un-dispatchable — the drift class this rule machine-checks.  A class counts
 as *concrete* when it is public (no leading underscore) and declares a
@@ -36,6 +37,7 @@ REGISTRY_SPECS: Dict[str, str] = {
     "RoutingPolicy": "ROUTING_POLICIES",
     "RolloutPolicy": "ROLLOUT_POLICIES",
     "Backend": "BACKENDS",
+    "Collectives": "COLLECTIVES",
 }
 
 
@@ -78,8 +80,9 @@ def _concrete_name_attr(node: ast.ClassDef) -> Optional[str]:
 class RegistryRule(Rule):
     rule_id = "repro-registry"
     description = (
-        "concrete Executor/Controller/RoutingPolicy/RolloutPolicy/Backend "
-        "classes must appear in their registry dict and package __all__"
+        "concrete Executor/Controller/RoutingPolicy/RolloutPolicy/Backend/"
+        "Collectives classes must appear in their registry dict and "
+        "package __all__"
     )
     visits = ()  # project-level: everything happens in finish()
 

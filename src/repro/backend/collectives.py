@@ -1,0 +1,774 @@
+"""Deterministic collective ops over a persistent shard worker pool.
+
+This module is the communication layer of the sharded backend
+(:mod:`repro.backend.sharded`).  It follows the operator-library approach of
+vmad-style MPI engines: every collective is a *pure, deterministic combine
+function* over indexed contributions, and the tape-facing twins
+(``allreduce_sum`` / ``allreduce_mean`` / ``allgather``) are registered in the
+same op registry (:mod:`repro.backend.registry`) the autodiff tensors dispatch
+through, so gradient accumulation across data-parallel shards records a named
+tape entry with a proper VJP instead of an anonymous closure.
+
+Bit-exactness is a *design rule* here, not an aspiration:
+
+* Contributions are ``(unit_index, array)`` pairs.  Every reduction sorts by
+  the global unit index and left-folds in that fixed order — so the result is
+  identical no matter how units were assigned to shards (shard-count
+  invariance) and identical to a serial left fold over the same units.
+* Work is partitioned by *whole natural units* (a class, a group, a fixed-size
+  block), never by splitting one BLAS call: single-threaded BLAS kernels pick
+  different blocking by matrix shape, so ``A[rows] @ B`` concatenated is *not*
+  bitwise ``A @ B`` — only identical shapes give identical bits.  Each unit's
+  computation therefore has exactly the same shapes serially and on a shard.
+
+Two transports implement the same :class:`Collectives` interface:
+:class:`SerialCollectives` runs shard kernels inline (the reference, and the
+fallback inside worker processes — a shard worker must never spawn its own
+pool), :class:`ProcessCollectives` runs them on a persistent pool of worker
+processes reusing the fork-or-spawn + private-task-queue + shared-result-queue
+IPC machinery of :class:`repro.serving.executor.ProcessExecutor`, including
+its typed worker-death handling: a worker dying mid-collective fails the call
+with :class:`~repro.exceptions.WorkerDiedError` (a collective is all-or-
+nothing — a missing contribution would silently change the reduction), and the
+pool respawns the worker so the next call finds a healthy world.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.backend.policy import default_dtype
+from repro.backend.registry import register_op
+from repro.exceptions import (
+    ConfigurationError,
+    ExecutorError,
+    ShapeError,
+    WorkerDiedError,
+)
+
+#: Seconds between liveness checks while waiting on the IPC result queue.
+_POLL_SECONDS = 0.1
+
+#: Set in shard worker processes so a backend built there degrades to the
+#: serial transport instead of recursively spawning pools.
+_WORKER_ENV = "REPRO_SHARD_WORKER"
+
+
+def in_shard_worker() -> bool:
+    """Whether this process is a shard worker of some parent pool."""
+    return os.environ.get(_WORKER_ENV) == "1"
+
+
+# ---------------------------------------------------------------------- #
+# deterministic combine functions
+# ---------------------------------------------------------------------- #
+def fixed_order_sum(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Left fold ``((a0 + a1) + a2) + ...`` — the one float summation order.
+
+    Floating-point addition is not associative, so *any* reduction that wants
+    to be bit-exact across shard counts must fix the fold order.  This is it:
+    every collective in this module reduces in ascending unit-index order
+    through this fold, which also equals the serial accumulation order.
+    """
+    arrays = list(arrays)
+    if not arrays:
+        raise ShapeError("fixed_order_sum needs at least one array")
+    total = np.array(arrays[0], copy=True)
+    for array in arrays[1:]:
+        array = np.asarray(array)
+        if array.shape != total.shape:
+            raise ShapeError(
+                f"fixed_order_sum got mismatched shapes {total.shape} and {array.shape}"
+            )
+        np.add(total, array, out=total)
+    return total
+
+
+Contribution = Tuple[int, np.ndarray]
+
+
+def _ordered(contributions: Iterable[Contribution]) -> List[np.ndarray]:
+    """Arrays in ascending unit-index order; duplicate indices are a bug."""
+    items = sorted(contributions, key=lambda pair: pair[0])
+    indices = [index for index, _ in items]
+    if len(set(indices)) != len(indices):
+        raise ConfigurationError(
+            f"duplicate unit indices in collective contributions: {indices}"
+        )
+    return [np.asarray(array) for _, array in items]
+
+
+def allreduce(contributions: Iterable[Contribution], op: str = "sum") -> np.ndarray:
+    """Reduce ``(unit_index, array)`` contributions in fixed unit order.
+
+    ``op`` is ``"sum"`` or ``"mean"``.  The result does not depend on how the
+    units were distributed over shards: contributions are re-ordered by their
+    *global* unit index before the left fold.
+    """
+    arrays = _ordered(contributions)
+    if op == "sum":
+        return fixed_order_sum(arrays)
+    if op == "mean":
+        return fixed_order_sum(arrays) / float(len(arrays))
+    raise ConfigurationError(f"unknown allreduce op {op!r}; expected 'sum' or 'mean'")
+
+
+def allgather(contributions: Iterable[Contribution]) -> np.ndarray:
+    """Concatenate contributions along axis 0 in ascending unit order."""
+    arrays = _ordered(contributions)
+    return np.concatenate([np.atleast_1d(a) for a in arrays], axis=0)
+
+
+def reduce_scatter(
+    contributions: Iterable[Tuple[int, int, np.ndarray]], op: str = "sum"
+) -> Dict[int, np.ndarray]:
+    """Per-slot fixed-order reduction: ``(slot, unit_index, array)`` → slot result.
+
+    The scatter half of MPI's reduce-scatter, coordinator-orchestrated: every
+    destination ``slot`` receives the reduction of the contributions addressed
+    to it, each reduced in ascending unit order (so the per-slot results are
+    shard-count invariant exactly like :func:`allreduce`).
+    """
+    per_slot: Dict[int, List[Contribution]] = {}
+    for slot, unit_index, array in contributions:
+        per_slot.setdefault(int(slot), []).append((unit_index, array))
+    return {slot: allreduce(items, op=op) for slot, items in sorted(per_slot.items())}
+
+
+def argmin_reduce(
+    contributions: Iterable[Tuple[int, float, Any]]
+) -> Tuple[float, Any]:
+    """Global argmin over ``(unit_index, value, payload)`` contributions.
+
+    Ties break to the lowest unit index (strict ``<`` over ascending units),
+    matching ``np.argmin``'s first-occurrence rule when unit order follows
+    candidate order — the herding twin relies on that to stay deterministic.
+    """
+    items = sorted(contributions, key=lambda item: item[0])
+    if not items:
+        raise ShapeError("argmin_reduce needs at least one contribution")
+    best_value, best_payload = float(items[0][1]), items[0][2]
+    for _, value, payload in items[1:]:
+        if float(value) < best_value:
+            best_value, best_payload = float(value), payload
+    return best_value, best_payload
+
+
+# ---------------------------------------------------------------------- #
+# tape-facing twins (registered in the op registry)
+# ---------------------------------------------------------------------- #
+def _allreduce_sum_forward(ctx, *arrays):
+    """Fixed-order sum of the shard contributions (one tensor per shard)."""
+    ctx.save(len(arrays))
+    return fixed_order_sum(arrays)
+
+
+def _allreduce_sum_vjp(ctx, grad):
+    (count,) = ctx.saved
+    return tuple(grad for _ in range(count))
+
+
+def _allreduce_mean_forward(ctx, *arrays):
+    """Fixed-order mean of the shard contributions."""
+    ctx.save(len(arrays))
+    return fixed_order_sum(arrays) / float(len(arrays))
+
+
+def _allreduce_mean_vjp(ctx, grad):
+    (count,) = ctx.saved
+    scaled = grad / float(count)
+    return tuple(scaled for _ in range(count))
+
+
+def _allgather_forward(ctx, *arrays):
+    """Concatenate shard contributions along axis 0 (ascending shard order)."""
+    parts = [np.atleast_1d(np.asarray(a)) for a in arrays]
+    ctx.save(tuple(part.shape[0] for part in parts))
+    return np.concatenate(parts, axis=0)
+
+
+def _allgather_vjp(ctx, grad):
+    (sizes,) = ctx.saved
+    cotangents = []
+    offset = 0
+    for size in sizes:
+        cotangents.append(grad[offset:offset + size])
+        offset += size
+    return tuple(cotangents)
+
+
+register_op(
+    "allreduce_sum",
+    _allreduce_sum_forward,
+    _allreduce_sum_vjp,
+    doc="Data-parallel sum: fixed-order fold over per-shard tensors; the "
+    "gradient fans out unchanged to every shard.",
+)
+register_op(
+    "allreduce_mean",
+    _allreduce_mean_forward,
+    _allreduce_mean_vjp,
+    doc="Data-parallel mean: fixed-order fold over per-shard tensors divided "
+    "by the shard count; the gradient fans out scaled by 1/k.",
+)
+register_op(
+    "allgather",
+    _allgather_forward,
+    _allgather_vjp,
+    doc="Gather per-shard tensors along axis 0 in shard order; the gradient "
+    "splits back to the contributing shards.",
+)
+
+
+# ---------------------------------------------------------------------- #
+# shard kernels
+# ---------------------------------------------------------------------- #
+#: Kernel name → ``fn(state, payload) -> result``.  Kernels are module-level
+#: named functions (not closures) so the spawn start method can pickle the
+#: *name* over IPC and resolve it worker-side.
+SHARD_KERNELS: Dict[str, Callable[["ShardWorkerState", Any], Any]] = {}
+
+
+def register_shard_kernel(name: str) -> Callable:
+    """Decorator registering a named shard kernel."""
+
+    def decorator(fn: Callable) -> Callable:
+        SHARD_KERNELS[name] = fn
+        return fn
+
+    return decorator
+
+
+def get_shard_kernel(name: str) -> Callable:
+    try:
+        return SHARD_KERNELS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown shard kernel {name!r}; known kernels: {sorted(SHARD_KERNELS)}"
+        ) from None
+
+
+class ShardWorkerState:
+    """Per-shard state kernels run against: the shipped model plus a cache.
+
+    In a worker process the model is reconstructed from the broadcast
+    ``(input_dim, config fields, state_dict)`` blob; under
+    :class:`SerialCollectives` it is simply the live coordinator model.  The
+    ``cache`` dict lets stateful kernels (blocked herding scoring) keep
+    shard-resident data across calls without re-shipping it every step.
+    """
+
+    __slots__ = ("model", "model_token", "cache")
+
+    def __init__(self) -> None:
+        self.model = None
+        self.model_token: Any = None
+        self.cache: Dict[Any, Any] = {}
+
+    def install_model(self, token, input_dim, config_fields, state_dict) -> None:
+        """Rebuild the embedding network from a broadcast blob (worker side)."""
+        # Local imports: the backend layer must not depend on core at module
+        # load (core imports backend); workers resolve it lazily.
+        from repro.core.config import PiloteConfig
+        from repro.core.embedding import EmbeddingNetwork
+
+        fields = dict(config_fields)
+        fields["hidden_dims"] = tuple(fields["hidden_dims"])
+        config = PiloteConfig(**fields)
+        model = EmbeddingNetwork(int(input_dim), config=config)
+        model.load_state_dict(state_dict)
+        model.eval()
+        self.model = model
+        self.model_token = token
+
+    def require_model(self):
+        if self.model is None:
+            raise ExecutorError("shard kernel needs a model but none was broadcast")
+        return self.model
+
+
+@register_shard_kernel("class_embeddings")
+def _kernel_class_embeddings(state: ShardWorkerState, payload) -> Tuple[int, np.ndarray]:
+    """``(class_id, rows)`` → ``(class_id, embeddings)`` under the shard model."""
+    class_id, rows = payload
+    return int(class_id), state.require_model().embed(rows)
+
+
+@register_shard_kernel("herd_class")
+def _kernel_herd_class(state: ShardWorkerState, payload) -> Tuple[int, np.ndarray]:
+    """``(class_id, rows, budget)`` → ``(class_id, herding indices)``.
+
+    Embeds the *whole* class and runs the exact serial
+    :func:`repro.core.exemplars.herding_selection` — identical shapes, data
+    and single-threaded kernels as the coordinator would use, so the selected
+    indices are bit-for-bit the serial ones.
+    """
+    from repro.core.exemplars import herding_selection
+
+    class_id, rows, budget = payload
+    embeddings = state.require_model().embed(rows)
+    indices = herding_selection(rows, embeddings, int(budget))
+    return int(class_id), indices
+
+
+@register_shard_kernel("class_prototype")
+def _kernel_class_prototype(state: ShardWorkerState, payload) -> Tuple[int, np.ndarray]:
+    """``(class_id, exemplar rows)`` → ``(class_id, mean embedding)``."""
+    class_id, rows = payload
+    embeddings = state.require_model().embed(rows)
+    return int(class_id), embeddings.mean(axis=0)
+
+
+@register_shard_kernel("grouped_partial")
+def _kernel_grouped_partial(state: ShardWorkerState, payload):
+    """Partial grouped sums for a contiguous chunk of groups.
+
+    ``(chunk_index, values, local_inverse, n_groups)`` → ``(chunk_index,
+    sums, counts)``.  ``np.add.at`` is an unbuffered sequential accumulate in
+    row order, so each group's sum is the same left fold the serial
+    ``grouped_means`` computes — whole groups on one shard keep it bit-exact.
+    """
+    chunk_index, values, inverse, n_groups = payload
+    values = np.asarray(values)
+    inverse = np.asarray(inverse)
+    sums = np.zeros((int(n_groups), values.shape[1]), dtype=values.dtype)
+    np.add.at(sums, inverse, values)
+    counts = np.bincount(inverse, minlength=int(n_groups))
+    return int(chunk_index), sums, counts
+
+
+@register_shard_kernel("herd_score")
+def _kernel_herd_score(state: ShardWorkerState, payload):
+    """Blocked candidate scoring for the intra-class herding twin.
+
+    The payload is a dict: ``{"key", "blocks", "centre", "remove"}``.  On the
+    first call ``blocks`` carries this shard's fixed-size candidate blocks as
+    ``(block_index, embeddings, squared_norms, global_offset)`` tuples, cached
+    under ``key`` so later steps only ship the (tiny) centre vector.
+    ``remove`` marks a globally selected candidate unavailable.  Returns one
+    ``(block_index, min_value, global_argmin_index)`` per live block — the
+    coordinator folds them with :func:`argmin_reduce`.
+    """
+    key = payload["key"]
+    if payload.get("blocks") is not None:
+        state.cache[key] = [
+            {
+                "index": int(block_index),
+                "embeddings": np.asarray(embeddings),
+                "squared_norms": np.asarray(squared_norms),
+                "offset": int(offset),
+                "available": np.ones(np.asarray(embeddings).shape[0], dtype=bool),
+            }
+            for block_index, embeddings, squared_norms, offset in payload["blocks"]
+        ]
+    blocks = state.cache.get(key)
+    if blocks is None:
+        raise ExecutorError(f"herd_score called before its blocks were shipped ({key!r})")
+    remove = payload.get("remove")
+    if remove is not None:
+        for block in blocks:
+            local = int(remove) - block["offset"]
+            if 0 <= local < block["available"].shape[0]:
+                block["available"][local] = False
+    centre = payload.get("centre")
+    if centre is None:
+        return []
+    centre = np.asarray(centre)
+    results = []
+    for block in blocks:
+        if not block["available"].any():
+            continue
+        scores = 2.0 * (block["embeddings"] @ centre) + block["squared_norms"]
+        scores[~block["available"]] = np.inf
+        local_best = int(np.argmin(scores))
+        results.append(
+            (block["index"], float(scores[local_best]), block["offset"] + local_best)
+        )
+    return results
+
+
+@register_shard_kernel("herd_release")
+def _kernel_herd_release(state: ShardWorkerState, payload):
+    """Drop a cached herding working set (``payload`` is the cache key)."""
+    state.cache.pop(payload, None)
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# process worker machinery (mirrors serving/executor.py's pool idioms)
+# ---------------------------------------------------------------------- #
+def _portable_error(error: BaseException) -> BaseException:
+    """The error itself when picklable, else a typed stand-in."""
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return ExecutorError(f"{type(error).__name__}: {error}")
+
+
+def _shard_worker_main(worker_index, task_queue, result_queue, backend_name, dtype_name):
+    """Shard worker loop: install a backend, run named kernels on demand.
+
+    Messages: ``("model", token, input_dim, config_fields, state_dict)``
+    rebuilds the shard's embedding network; ``("run", task_id, kernel_name,
+    payload)`` answers ``(task_id, result, error)`` on the shared result
+    queue; ``("crash",)`` kills the process without cleanup (the typed
+    worker-death tests); ``None`` shuts down cleanly.
+    """
+    os.environ[_WORKER_ENV] = "1"
+    from repro.backend.backend import install_worker_backend
+
+    install_worker_backend(backend_name, dtype=dtype_name)
+    state = ShardWorkerState()
+    while True:
+        try:
+            message = task_queue.get()
+        except (EOFError, OSError, KeyboardInterrupt):  # pragma: no cover
+            break
+        if message is None:
+            break
+        kind = message[0]
+        if kind == "model":
+            _, token, input_dim, config_fields, state_dict = message
+            try:
+                state.install_model(token, input_dim, config_fields, state_dict)
+            except Exception:
+                # Surfaces as a typed failure on the next "run" that needs it.
+                state.model = None
+                state.model_token = None
+            continue
+        if kind == "crash":
+            os._exit(1)
+        _, task_id, kernel_name, payload = message
+        try:
+            kernel = get_shard_kernel(kernel_name)
+            result = kernel(state, payload)
+        except Exception as error:
+            result_queue.put((task_id, None, _portable_error(error)))
+        else:
+            result_queue.put((task_id, result, None))
+
+
+class _ShardWorker:
+    """One pool member: the OS process, its private task queue, shipped token."""
+
+    __slots__ = ("index", "process", "task_queue", "model_token")
+
+    def __init__(self, index, process, task_queue) -> None:
+        self.index = index
+        self.process = process
+        self.task_queue = task_queue
+        # Token of the model blob this worker holds; a respawned replacement
+        # starts at None so the next run re-broadcasts to it.
+        self.model_token: Any = None
+
+
+# ---------------------------------------------------------------------- #
+# transports
+# ---------------------------------------------------------------------- #
+class Collectives:
+    """Transport running shard kernels over a logical world of ``shards``.
+
+    The combine half (``allreduce``/``allgather``/``reduce_scatter``) is pure
+    and transport-independent — it always reduces in global unit order — so
+    the two transports differ only in *where* kernels run.
+    """
+
+    #: Registry key of the transport.
+    name: str = "abstract"
+
+    def __init__(self, shards: int) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        self.shards = int(shards)
+
+    @property
+    def world_size(self) -> int:
+        return self.shards
+
+    def partition(self, n_units: int) -> List[range]:
+        """Contiguous, balanced unit ranges, one per shard (possibly empty)."""
+        base, extra = divmod(max(int(n_units), 0), self.shards)
+        ranges: List[range] = []
+        start = 0
+        for shard in range(self.shards):
+            size = base + (1 if shard < extra else 0)
+            ranges.append(range(start, start + size))
+            start += size
+        return ranges
+
+    # combine functions, exposed on the transport for call-site convenience
+    allreduce = staticmethod(allreduce)
+    allgather = staticmethod(allgather)
+    reduce_scatter = staticmethod(reduce_scatter)
+    argmin_reduce = staticmethod(argmin_reduce)
+
+    def broadcast_model(self, model, token: Any) -> None:
+        """Make ``model`` available to every shard (idempotent per ``token``)."""
+        raise NotImplementedError
+
+    def run(self, kernel: str, payloads: Sequence[Any]) -> List[Any]:
+        """Run a named kernel over payloads; results in payload order.
+
+        Payload ``i`` runs on shard ``i % world_size`` — callers build one
+        payload per natural unit and rely on the combine functions for order
+        independence, so the placement policy is free to stay simple.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release worker pools (idempotent; the serial transport is a no-op)."""
+
+    def describe(self) -> str:
+        return f"{self.name}[{self.shards}]"
+
+
+class SerialCollectives(Collectives):
+    """Inline transport: kernels run in-process against the live model.
+
+    The reference implementation every sharded result is gated against, and
+    the automatic fallback inside shard workers (:func:`in_shard_worker`) so
+    an installed sharded backend can never recursively spawn pools.
+    """
+
+    name = "serial"
+
+    def __init__(self, shards: int = 1) -> None:
+        super().__init__(shards)
+        self._state = ShardWorkerState()
+
+    def broadcast_model(self, model, token: Any) -> None:
+        self._state.model = model
+        self._state.model_token = token
+
+    def run(self, kernel: str, payloads: Sequence[Any]) -> List[Any]:
+        fn = get_shard_kernel(kernel)
+        return [fn(self._state, payload) for payload in payloads]
+
+
+class ProcessCollectives(Collectives):
+    """Persistent multi-process transport, one OS process per shard.
+
+    Reuses the :class:`~repro.serving.executor.ProcessExecutor` pool idioms:
+    fork when available (spawn otherwise), a private task queue per worker, a
+    shared result queue polled with liveness checks, chaos ``("crash",)``
+    injection, and identity-based dead-worker reaping with respawn.  Unlike
+    the serving executor — where one dead batch fails one future — a dead
+    worker here fails the *whole* collective call with
+    :class:`~repro.exceptions.WorkerDiedError`: a reduction missing one
+    shard's contribution would be silently wrong, which is worse than loud.
+    """
+
+    name = "process"
+
+    def __init__(self, shards: int, backend_name: str = "numpy") -> None:
+        super().__init__(shards)
+        methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._backend_name = backend_name
+        self._workers: List[_ShardWorker] = []
+        self._results = None
+        self._task_counter = 0
+        # Last broadcast model blob: (token, input_dim, config_fields, state).
+        self._model_blob: Optional[tuple] = None
+
+    # -- pool lifecycle ------------------------------------------------- #
+    def _ensure_workers(self) -> None:
+        if self._workers:
+            return
+        if self._results is None:
+            self._results = self._context.Queue()
+        for index in range(self.shards):
+            self._spawn(index)
+
+    def _spawn(self, index: int) -> None:
+        task_queue = self._context.Queue()
+        process = self._context.Process(
+            target=_shard_worker_main,
+            args=(index, task_queue, self._results, self._backend_name,
+                  str(default_dtype())),
+            daemon=True,
+            name=f"repro-shard-{index}",
+        )
+        process.start()
+        worker = _ShardWorker(index, process, task_queue)
+        if index < len(self._workers):
+            self._workers[index] = worker
+        else:
+            self._workers.append(worker)
+
+    def kill_worker(self, index: int, *, wait: bool = True) -> int:
+        """Chaos hook: crash one shard worker (``os._exit`` in-process).
+
+        With ``wait`` the process is joined, so the next collective call
+        finds the worker already dead *before* queueing and silently respawns
+        the slot (the died-idle path — no typed failure).  Without it the
+        crash message sits ahead of whatever that call queues, so the worker
+        dies holding tasks: the mid-collective death that fails the whole
+        call with :class:`~repro.exceptions.WorkerDiedError`.  Returns the
+        pool index.
+        """
+        self._ensure_workers()
+        worker = self._workers[index % self.shards]
+        worker.task_queue.put(("crash",))
+        if wait:
+            worker.process.join(timeout=5.0)
+        return worker.index
+
+    def close(self) -> None:
+        for worker in self._workers:
+            try:
+                worker.task_queue.put(None)
+            except (ValueError, OSError):  # pragma: no cover - queue torn down
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        self._workers = []
+        if self._results is not None:
+            self._results.close()
+            self._results = None
+
+    # -- model broadcast ------------------------------------------------ #
+    def broadcast_model(self, model, token: Any) -> None:
+        """Record the model blob; shipped lazily, per worker, keyed by token.
+
+        The blob is built once per token (``state_dict`` copies the params so
+        later training steps cannot mutate what a worker will deserialise);
+        :meth:`run` ships it only to workers whose held token differs — a
+        respawned worker starts at ``None`` and re-syncs automatically.
+        """
+        if self._model_blob is not None and self._model_blob[0] == token:
+            return
+        import dataclasses
+
+        self._model_blob = (
+            token,
+            int(model.input_dim),
+            dataclasses.asdict(model.config),
+            model.state_dict(),
+        )
+
+    def _sync_model(self, worker: _ShardWorker) -> None:
+        if self._model_blob is None:
+            return
+        token, input_dim, config_fields, state = self._model_blob
+        if worker.model_token == token:
+            return
+        worker.task_queue.put(("model", token, input_dim, config_fields, state))
+        worker.model_token = token
+
+    # -- execution ------------------------------------------------------ #
+    def run(self, kernel: str, payloads: Sequence[Any]) -> List[Any]:
+        self._ensure_workers()
+        get_shard_kernel(kernel)  # fail fast on typos, before any IPC
+        pending: Dict[int, int] = {}  # task_id -> payload position
+        owners: Dict[int, _ShardWorker] = {}
+        ordered: List[Any] = [None] * len(payloads)
+        for position, payload in enumerate(payloads):
+            worker = self._workers[position % self.shards]
+            if not worker.process.is_alive():
+                # Died idle between calls: respawn before queueing so the
+                # call doesn't burn its tasks just to notice.
+                self._spawn(worker.index)
+                worker = self._workers[worker.index]
+            self._sync_model(worker)
+            self._task_counter += 1
+            task_id = self._task_counter
+            pending[task_id] = position
+            owners[task_id] = worker
+            worker.task_queue.put(("run", task_id, kernel, payload))
+        failure: Optional[BaseException] = None
+        while pending:
+            try:
+                task_id, result, error = self._results.get(timeout=_POLL_SECONDS)
+            except queue.Empty:
+                died = self._reap_dead(pending, owners)
+                if died is not None and failure is None:
+                    failure = died
+                continue
+            position = pending.pop(task_id, None)
+            if position is None:
+                # Late answer for a task already failed via a dead worker —
+                # the collective was aborted once; never resurrect it.
+                continue
+            owners.pop(task_id, None)
+            if error is not None and failure is None:
+                failure = error
+            ordered[position] = result
+        if failure is not None:
+            raise failure
+        return ordered
+
+    def _reap_dead(self, pending, owners) -> Optional[WorkerDiedError]:
+        """Fail tasks owned by dead workers; respawn their slots.
+
+        Matching is by worker *identity*: a slot respawned mid-call may own
+        tasks under both the dead object and its replacement, and only the
+        former's are failed.  Returns the typed error (the whole collective
+        aborts) or ``None`` when everyone is alive.
+        """
+        dead = {
+            id(worker): worker
+            for worker in owners.values()
+            if not worker.process.is_alive()
+        }
+        if not dead:
+            return None
+        error: Optional[WorkerDiedError] = None
+        for task_id in [tid for tid, worker in owners.items() if id(worker) in dead]:
+            pending.pop(task_id, None)
+            worker = owners.pop(task_id)
+            if error is None:
+                error = WorkerDiedError(
+                    f"shard worker {worker.index} (pid {worker.process.pid}) "
+                    f"died mid-collective; the reduction is incomplete"
+                )
+        for worker in dead.values():
+            if self._workers[worker.index] is worker:
+                self._spawn(worker.index)
+        return error
+
+
+#: Transport name → class, for building collectives by name.
+COLLECTIVES = {
+    SerialCollectives.name: SerialCollectives,
+    ProcessCollectives.name: ProcessCollectives,
+}
+
+
+def make_collectives(
+    spec: Union[str, Collectives, None], shards: int, backend_name: str = "numpy"
+) -> Collectives:
+    """Resolve a transport from a name, an instance or ``None``.
+
+    ``None`` picks ``"process"`` outside a shard worker and ``"serial"``
+    inside one (nested pools are never spawned).  A one-shard world always
+    gets the serial transport — there is nothing to parallelise.
+    """
+    if isinstance(spec, Collectives):
+        return spec
+    if spec is None:
+        spec = "serial" if in_shard_worker() else "process"
+    if spec == "process" and (shards <= 1 or in_shard_worker()):
+        spec = "serial"
+    try:
+        transport = COLLECTIVES[spec]
+    except (KeyError, TypeError):
+        raise ConfigurationError(
+            f"unknown collectives transport {spec!r}; expected one of "
+            f"{sorted(COLLECTIVES)}"
+        ) from None
+    if transport is ProcessCollectives:
+        return ProcessCollectives(shards, backend_name=backend_name)
+    return transport(shards)

@@ -1,0 +1,261 @@
+"""The sharded compute backend: data-parallel learning over a worker pool.
+
+:class:`ShardedBackend` drops in behind the existing
+:class:`~repro.backend.backend.Backend` seam (``BACKENDS["sharded"]``,
+installable per-worker through
+:func:`~repro.backend.backend.install_worker_backend`) and partitions
+per-class learning workloads — exemplar herding, prototype refresh, grouped
+means — across the persistent shard pool of
+:mod:`repro.backend.collectives`.  Everything above the seam is unchanged:
+``grouped_means`` callers (:func:`repro.core.prototypes
+.compute_class_prototypes`) and :class:`repro.core.pilote.PILOTE` (via
+``PILOTE(..., backend="sharded")``) dispatch to the sharded twins
+transparently.
+
+The bit-exactness contract (gated by ``benchmarks/bench_collective.py``):
+
+* work is sharded by **whole natural units** — a class, a group, a fixed-size
+  candidate block — so every unit's arithmetic runs with exactly the shapes
+  the serial path uses.  Splitting a single BLAS call is *never* bit-exact
+  (kernel selection depends on the operand shapes), which is why
+  ``pairwise_distances`` deliberately inherits the exact single-process
+  kernel instead of growing a row-sharded twin;
+* reductions combine indexed unit contributions in ascending global unit
+  order through one fixed left fold
+  (:func:`~repro.backend.collectives.allreduce`), so results are invariant to
+  the shard count and identical to the serial accumulation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.backend.backend import BACKENDS, NumpyBackend
+from repro.backend.collectives import (
+    Collectives,
+    argmin_reduce,
+    in_shard_worker,
+    make_collectives,
+)
+from repro.exceptions import ConfigurationError, DataError, ShapeError
+
+#: Fixed candidate-block size of the intra-class herding twin.  The block grid
+#: depends only on the data, never on the shard count — that is what makes the
+#: blocked selection shard-count invariant.
+HERDING_BLOCK_ROWS = 1024
+
+_herd_keys = itertools.count()
+
+
+class ShardedBackend(NumpyBackend):
+    """Numpy semantics, sharded execution.
+
+    Parameters
+    ----------
+    shards:
+        Logical world size; defaults to the CPU core count.  One shard (or a
+        backend built inside a shard worker process) degrades to the inline
+        serial transport — never a nested pool.
+    collectives:
+        Transport: ``"process"`` (default), ``"serial"``, or a prebuilt
+        :class:`~repro.backend.collectives.Collectives` instance.
+    min_shard_rows:
+        Below this many rows ``grouped_means`` runs the inherited serial
+        kernel — the IPC round trip costs more than the work.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shards: Optional[int] = None,
+        collectives: Union[str, Collectives, None] = None,
+        min_shard_rows: int = 2048,
+    ) -> None:
+        super().__init__()
+        if shards is None:
+            shards = os.cpu_count() or 1
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        self.shards = int(shards)
+        self.min_shard_rows = int(min_shard_rows)
+        self._collectives_spec = collectives
+        self._collectives: Optional[Collectives] = None
+
+    # ------------------------------------------------------------------ #
+    # collectives lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def collectives(self) -> Collectives:
+        """The transport, built lazily so idle backends never spawn a pool."""
+        if self._collectives is None:
+            self._collectives = make_collectives(self._collectives_spec, self.shards)
+        return self._collectives
+
+    @property
+    def world_size(self) -> int:
+        return self.shards
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; safe before first use)."""
+        if self._collectives is not None:
+            self._collectives.close()
+            self._collectives = None
+
+    def __enter__(self) -> "ShardedBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        transport = (
+            self._collectives.name
+            if self._collectives is not None
+            else ("serial" if in_shard_worker() or self.shards <= 1 else "process")
+        )
+        return f"{self.name}[{self.shards}x{transport}]"
+
+    # ------------------------------------------------------------------ #
+    # sharded twins
+    # ------------------------------------------------------------------ #
+    def map_class_units(
+        self, model, model_token: Any, kernel: str, payloads: Sequence[Any]
+    ) -> List[Any]:
+        """Run a model-bound shard kernel over per-class payloads, in order.
+
+        Ships the model to the pool once per ``model_token`` (callers key it
+        by model identity + training revision), then fans the payloads out.
+        This is the seam :class:`~repro.core.pilote.PILOTE` drives for
+        herding, prototype refresh and support-set builds.
+        """
+        transport = self.collectives
+        transport.broadcast_model(model, model_token)
+        return transport.run(kernel, payloads)
+
+    def grouped_means(
+        self, values: np.ndarray, groups: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        values = np.asarray(values)
+        groups = np.asarray(groups).reshape(-1)
+        if values.ndim != 2:
+            raise ShapeError(f"grouped_means requires 2-D values, got {values.shape}")
+        if groups.shape[0] != values.shape[0]:
+            raise ShapeError(
+                f"got {groups.shape[0]} group ids for {values.shape[0]} rows"
+            )
+        unique, inverse = np.unique(groups, return_inverse=True)
+        if (
+            self.shards < 2
+            or unique.shape[0] < 2
+            or values.shape[0] < self.min_shard_rows
+        ):
+            # Serial tail: identical arithmetic to NumpyBackend.grouped_means.
+            sums = np.zeros((unique.shape[0], values.shape[1]), dtype=values.dtype)
+            np.add.at(sums, inverse, values)
+            counts = np.bincount(inverse, minlength=unique.shape[0])
+            return unique, sums / counts[:, None]
+        transport = self.collectives
+        payloads = []
+        for chunk_index, chunk in enumerate(transport.partition(unique.shape[0])):
+            if len(chunk) == 0:
+                continue
+            selector = np.flatnonzero((inverse >= chunk.start) & (inverse < chunk.stop))
+            payloads.append(
+                (chunk_index, values[selector], inverse[selector] - chunk.start,
+                 len(chunk))
+            )
+        results = transport.run("grouped_partial", payloads)
+        # Whole groups live on one shard and np.add.at accumulates rows in
+        # their original order there, so concatenating the per-chunk partials
+        # in chunk order reproduces the serial sums bit-for-bit.
+        sums = transport.allgather(
+            [(chunk_index, chunk_sums) for chunk_index, chunk_sums, _ in results]
+        )
+        counts = transport.allgather(
+            [(chunk_index, chunk_counts) for chunk_index, _, chunk_counts in results]
+        )
+        return unique, sums / counts[:, None]
+
+
+def sharded_herding_selection(
+    embeddings: np.ndarray,
+    n_exemplars: int,
+    collectives: Collectives,
+    block_rows: int = HERDING_BLOCK_ROWS,
+) -> np.ndarray:
+    """Herding selection with per-shard candidate scoring + global argmin.
+
+    The collective twin of :func:`repro.core.exemplars.herding_selection` for
+    a single class too large to score on one shard: candidates are cut into a
+    fixed ``block_rows`` grid, each shard caches its blocks once, and every
+    selection step ships only the (embedding-dim) centre vector, scores
+    block-locally, and folds the per-block minima with
+    :func:`~repro.backend.collectives.argmin_reduce` (ties to the lowest
+    block, then the lowest row — ``np.argmin`` order).
+
+    The block grid depends only on the data, so the selected indices are
+    **shard-count invariant** — one shard, four shards and the inline serial
+    transport all pick identical exemplars.  They can differ from the
+    unblocked serial kernel in the last ulp of a score (BLAS GEMV kernels
+    depend on the operand shapes), which is why PILOTE's increment shards by
+    whole classes instead — this twin is for the single-giant-class regime
+    where that is impossible.
+    """
+    embeddings = np.asarray(embeddings)
+    if embeddings.ndim != 2 or embeddings.shape[0] == 0:
+        raise DataError(f"embeddings must be a non-empty 2-D array, got {embeddings.shape}")
+    if n_exemplars <= 0:
+        raise DataError(f"n_exemplars must be positive, got {n_exemplars}")
+    if block_rows <= 0:
+        raise ConfigurationError(f"block_rows must be positive, got {block_rows}")
+    count = embeddings.shape[0]
+    n_exemplars = min(int(n_exemplars), count)
+    world = collectives.world_size
+
+    prototype = embeddings.mean(axis=0)
+    key = f"herding-{next(_herd_keys)}"
+    shard_blocks: List[List[tuple]] = [[] for _ in range(world)]
+    for block_index, offset in enumerate(range(0, count, int(block_rows))):
+        block = embeddings[offset:offset + int(block_rows)]
+        squared_norms = np.einsum("ij,ij->i", block, block)
+        shard_blocks[block_index % world].append(
+            (block_index, block, squared_norms, offset)
+        )
+
+    running_sum = np.zeros_like(prototype)
+    selected: List[int] = []
+    last_selected: Optional[int] = None
+    try:
+        for step in range(1, n_exemplars + 1):
+            centre = running_sum - float(step) * prototype
+            # Keys are per shard: under the serial transport every "shard"
+            # scores against the same ShardWorkerState, and one shared key
+            # would let the last shard's block cache clobber the others.
+            payloads = [
+                {
+                    "key": f"{key}/{shard}",
+                    "blocks": shard_blocks[shard] if step == 1 else None,
+                    "centre": centre,
+                    "remove": last_selected,
+                }
+                for shard in range(world)
+            ]
+            contributions = [
+                item for shard_result in collectives.run("herd_score", payloads)
+                for item in shard_result
+            ]
+            _, best = argmin_reduce(contributions)
+            selected.append(int(best))
+            last_selected = int(best)
+            running_sum += embeddings[int(best)]
+    finally:
+        collectives.run("herd_release", [f"{key}/{shard}" for shard in range(world)])
+    return np.asarray(selected, dtype=np.int64)
+
+
+BACKENDS[ShardedBackend.name] = ShardedBackend

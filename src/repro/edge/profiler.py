@@ -32,6 +32,11 @@ class LatencyReport:
     inference_seconds_per_window: float = 0.0
     support_set_bytes: int = 0
     model_bytes: int = 0
+    #: Wall-clock per update phase (``"training"``, ``"herding"``,
+    #: ``"prototype_refresh"``) as measured by the learner itself — the
+    #: breakdown that says *which* phase the sharded backend actually
+    #: accelerates, not just the total.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def mean_epoch_seconds(self) -> float:
@@ -51,10 +56,13 @@ class LatencyReport:
             inference_seconds_per_window=self.inference_seconds_per_window * factor,
             support_set_bytes=self.support_set_bytes,
             model_bytes=self.model_bytes,
+            phase_seconds={
+                phase: value * factor for phase, value in self.phase_seconds.items()
+            },
         )
 
     def summary(self) -> Dict[str, float]:
-        return {
+        report = {
             "epochs_run": self.epochs_run,
             "total_seconds": self.total_seconds,
             "mean_epoch_seconds": self.mean_epoch_seconds,
@@ -63,6 +71,37 @@ class LatencyReport:
             "support_set_kilobytes": self.support_set_bytes / 1024,
             "model_kilobytes": self.model_bytes / 1024,
         }
+        for phase in sorted(self.phase_seconds):
+            report[f"{phase}_seconds"] = self.phase_seconds[phase]
+        return report
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "epochs_run": self.epochs_run,
+            "total_seconds": self.total_seconds,
+            "epoch_seconds": list(self.epoch_seconds),
+            "inference_seconds_per_window": self.inference_seconds_per_window,
+            "support_set_bytes": self.support_set_bytes,
+            "model_bytes": self.model_bytes,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "LatencyReport":
+        return cls(
+            epochs_run=int(payload["epochs_run"]),
+            total_seconds=float(payload["total_seconds"]),
+            epoch_seconds=[float(v) for v in payload.get("epoch_seconds", [])],
+            inference_seconds_per_window=float(
+                payload.get("inference_seconds_per_window", 0.0)
+            ),
+            support_set_bytes=int(payload.get("support_set_bytes", 0)),
+            model_bytes=int(payload.get("model_bytes", 0)),
+            phase_seconds={
+                str(phase): float(value)
+                for phase, value in dict(payload.get("phase_seconds", {})).items()
+            },
+        )
 
 
 class EdgeProfiler:
@@ -95,6 +134,7 @@ class EdgeProfiler:
             inference_seconds_per_window=inference_seconds,
             support_set_bytes=learner.support_set_nbytes(),
             model_bytes=learner.model_nbytes(),
+            phase_seconds=dict(getattr(learner, "phase_seconds", {}) or {}),
         )
 
     def profile_inference(self, learner: PILOTE, dataset: HARDataset) -> float:

@@ -10,3 +10,16 @@ class ShadowBackend(Backend):
 
 
 BACKENDS = {ShadowBackend.name: ShadowBackend}
+
+
+class Collectives:
+    name = "abstract"
+
+
+class UnwiredCollectives(Collectives):
+    """Concrete transport that never lands in COLLECTIVES."""
+
+    name = "unwired"
+
+
+COLLECTIVES = {}

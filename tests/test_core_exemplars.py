@@ -155,3 +155,73 @@ class TestExemplarStore:
         assert store.total_exemplars() == 800
         assert store.nbytes() == 800 * 80 * 4
         assert store.nbytes() < 256 * 1024
+
+
+class TestAliasingContract:
+    """Pin both sides of the ``set_exemplars(copy=...)`` aliasing contract."""
+
+    def _policy_rows(self, seed=0, shape=(6, 4)):
+        from repro.backend import get_backend
+
+        rng = np.random.default_rng(seed)
+        return get_backend().asarray(rng.normal(size=shape))
+
+    def test_copy_true_isolates_store_from_posthoc_mutation(self):
+        rows = self._policy_rows()
+        snapshot = rows.copy()
+        store = ExemplarStore()
+        store.set_exemplars(0, rows)  # copy=True default
+        rows[:] = -1.0
+        assert np.array_equal(store.get(0), snapshot)
+
+    def test_copy_false_aliases_the_handed_over_array(self):
+        rows = self._policy_rows(seed=1)
+        store = ExemplarStore()
+        store.set_exemplars(0, rows, copy=False)
+        assert store.get(0) is rows
+        rows[0, 0] = 123.0  # the documented hazard, demonstrated
+        assert store.get(0)[0, 0] == 123.0
+
+    def test_copy_false_with_dtype_cast_still_copies(self):
+        """asarray with a differing dtype materialises a fresh buffer."""
+        from repro.backend import get_backend
+
+        rows = np.random.default_rng(2).normal(size=(5, 3))
+        cast = rows.astype(
+            np.float32 if np.dtype(get_backend().asarray(rows).dtype) != np.float32
+            else np.float64
+        )
+        store = ExemplarStore()
+        store.set_exemplars(0, cast, copy=False)
+        assert store.get(0) is not cast
+
+    def test_replacing_entries_never_mutates_shared_rows(self):
+        """The store-side promise: rebalance/select replace, never write."""
+        rows = self._policy_rows(seed=3, shape=(8, 4))
+        snapshot = rows.copy()
+        store = ExemplarStore()
+        store.set_exemplars(0, rows, copy=False)
+        store.rebalance(3)  # slices the entry; the shared buffer is untouched
+        assert np.array_equal(rows, snapshot)
+        store.set_exemplars(0, self._policy_rows(seed=4))
+        assert np.array_equal(rows, snapshot)
+
+    def test_set_selected_matches_select_bitwise(self):
+        features = _clustered_class(seed=5)
+        serial = ExemplarStore(strategy="herding")
+        indices = serial.select(0, features, features, n_exemplars=7)
+        sharded = ExemplarStore(strategy="herding")
+        sharded.set_selected(0, features, indices)
+        assert np.array_equal(serial.get(0), sharded.get(0))
+        # The stored rows are a copy, not a view into the candidates.
+        assert not np.shares_memory(sharded.get(0), features)
+
+    def test_set_selected_validates_indices(self):
+        store = ExemplarStore()
+        features = _clustered_class(seed=6)
+        with pytest.raises(DataError):
+            store.set_selected(0, features, np.array([], dtype=np.int64))
+        with pytest.raises(DataError):
+            store.set_selected(0, features, np.array([features.shape[0]]))
+        with pytest.raises(DataError):
+            store.set_selected(0, features, np.array([-1]))
