@@ -39,6 +39,7 @@ import multiprocessing
 import os
 import pickle
 import queue
+import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -54,6 +55,12 @@ from repro.exceptions import (
 
 #: Seconds between liveness checks while waiting on the IPC result queue.
 _POLL_SECONDS = 0.1
+
+#: Grace a ``kill_worker(wait=False)`` crash holds the worker alive for, so
+#: the next collective call deterministically queues its tasks *before* the
+#: worker dies — without it the death races the call's pre-queue liveness
+#: check and the mid-collective failure path is only hit by luck.
+_CRASH_GRACE_SECONDS = 0.25
 
 #: Set in shard worker processes so a backend built there degrades to the
 #: serial transport instead of recursively spawning pools.
@@ -272,16 +279,32 @@ class ShardWorkerState:
         self.cache: Dict[Any, Any] = {}
 
     def install_model(self, token, input_dim, config_fields, state_dict) -> None:
-        """Rebuild the embedding network from a broadcast blob (worker side)."""
+        """Rebuild the embedding network from a broadcast blob (worker side).
+
+        The network is constructed under the *shipped parameters'* dtype, not
+        this process's ambient default: leaf tensors materialise in the
+        construction-time policy dtype and ``load_state_dict`` casts loaded
+        values to the existing parameters' dtype, so building under any other
+        precision would silently re-cast the coordinator's weights and break
+        bit-exactness with the serial path.
+        """
         # Local imports: the backend layer must not depend on core at module
         # load (core imports backend); workers resolve it lazily.
+        from repro.backend.policy import precision
         from repro.core.config import PiloteConfig
         from repro.core.embedding import EmbeddingNetwork
 
         fields = dict(config_fields)
         fields["hidden_dims"] = tuple(fields["hidden_dims"])
         config = PiloteConfig(**fields)
-        model = EmbeddingNetwork(int(input_dim), config=config)
+        param_values = [
+            np.asarray(value)
+            for key, value in state_dict.items()
+            if key.startswith("param.")
+        ]
+        leaf_dtype = param_values[0].dtype if param_values else default_dtype()
+        with precision(leaf_dtype):
+            model = EmbeddingNetwork(int(input_dim), config=config)
         model.load_state_dict(state_dict)
         model.eval()
         self.model = model
@@ -416,13 +439,18 @@ def _shard_worker_main(worker_index, task_queue, result_queue, backend_name, dty
     """Shard worker loop: install a backend, run named kernels on demand.
 
     Messages: ``("model", token, input_dim, config_fields, state_dict)``
-    rebuilds the shard's embedding network; ``("run", task_id, kernel_name,
-    payload)`` answers ``(task_id, result, error)`` on the shared result
-    queue; ``("crash",)`` kills the process without cleanup (the typed
-    worker-death tests); ``None`` shuts down cleanly.
+    rebuilds the shard's embedding network; ``("dtype", name)`` re-installs
+    the compute dtype (the coordinator's policy is a dynamic scoped setting —
+    ``precision(...)`` — so the spawn-time dtype can go stale) and drops the
+    resident model so the next broadcast rebuilds it under the new precision;
+    ``("run", task_id, kernel_name, payload)`` answers ``(task_id, result,
+    error)`` on the shared result queue; ``("crash",)`` kills the process
+    without cleanup (the typed worker-death tests); ``None`` shuts down
+    cleanly.
     """
     os.environ[_WORKER_ENV] = "1"
     from repro.backend.backend import install_worker_backend
+    from repro.backend.policy import set_default_dtype
 
     install_worker_backend(backend_name, dtype=dtype_name)
     state = ShardWorkerState()
@@ -434,6 +462,14 @@ def _shard_worker_main(worker_index, task_queue, result_queue, backend_name, dty
         if message is None:
             break
         kind = message[0]
+        if kind == "dtype":
+            set_default_dtype(message[1])
+            # The resident model was built under the old precision; the
+            # coordinator resets this worker's token so the next run
+            # re-broadcasts and install_model rebuilds it.
+            state.model = None
+            state.model_token = None
+            continue
         if kind == "model":
             _, token, input_dim, config_fields, state_dict = message
             try:
@@ -444,6 +480,8 @@ def _shard_worker_main(worker_index, task_queue, result_queue, backend_name, dty
                 state.model_token = None
             continue
         if kind == "crash":
+            if len(message) > 1 and message[1]:
+                time.sleep(message[1])
             os._exit(1)
         _, task_id, kernel_name, payload = message
         try:
@@ -458,15 +496,18 @@ def _shard_worker_main(worker_index, task_queue, result_queue, backend_name, dty
 class _ShardWorker:
     """One pool member: the OS process, its private task queue, shipped token."""
 
-    __slots__ = ("index", "process", "task_queue", "model_token")
+    __slots__ = ("index", "process", "task_queue", "model_token", "dtype_name")
 
-    def __init__(self, index, process, task_queue) -> None:
+    def __init__(self, index, process, task_queue, dtype_name) -> None:
         self.index = index
         self.process = process
         self.task_queue = task_queue
         # Token of the model blob this worker holds; a respawned replacement
         # starts at None so the next run re-broadcasts to it.
         self.model_token: Any = None
+        # Compute dtype the worker currently has installed; re-synced before
+        # every collective because the coordinator's dtype is a scoped policy.
+        self.dtype_name = dtype_name
 
 
 # ---------------------------------------------------------------------- #
@@ -567,13 +608,26 @@ class ProcessCollectives(Collectives):
 
     name = "process"
 
-    def __init__(self, shards: int, backend_name: str = "numpy") -> None:
+    def __init__(
+        self,
+        shards: int,
+        backend_name: str = "numpy",
+        timeout: Optional[float] = None,
+    ) -> None:
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(f"timeout must be positive, got {timeout}")
         super().__init__(shards)
         methods = multiprocessing.get_all_start_methods()
         self._context = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
         )
         self._backend_name = backend_name
+        #: Optional wall-clock bound per collective call.  A worker that is
+        #: *alive but stuck* (wedged BLAS call, blocked queue put) never trips
+        #: the dead-worker reaping, so without a deadline the call would spin
+        #: forever; past the bound the stuck workers are killed, their slots
+        #: respawned, and the call fails with a typed ExecutorError.
+        self._timeout = timeout
         self._workers: List[_ShardWorker] = []
         self._results = None
         self._task_counter = 0
@@ -591,15 +645,16 @@ class ProcessCollectives(Collectives):
 
     def _spawn(self, index: int) -> None:
         task_queue = self._context.Queue()
+        dtype_name = str(default_dtype())
         process = self._context.Process(
             target=_shard_worker_main,
             args=(index, task_queue, self._results, self._backend_name,
-                  str(default_dtype())),
+                  dtype_name),
             daemon=True,
             name=f"repro-shard-{index}",
         )
         process.start()
-        worker = _ShardWorker(index, process, task_queue)
+        worker = _ShardWorker(index, process, task_queue, dtype_name)
         if index < len(self._workers):
             self._workers[index] = worker
         else:
@@ -611,14 +666,16 @@ class ProcessCollectives(Collectives):
         With ``wait`` the process is joined, so the next collective call
         finds the worker already dead *before* queueing and silently respawns
         the slot (the died-idle path — no typed failure).  Without it the
-        crash message sits ahead of whatever that call queues, so the worker
-        dies holding tasks: the mid-collective death that fails the whole
-        call with :class:`~repro.exceptions.WorkerDiedError`.  Returns the
-        pool index.
+        crash message sits ahead of whatever that call queues — and carries a
+        short grace sleep holding the worker alive through that call's
+        pre-queue liveness check — so the worker deterministically dies
+        holding tasks: the mid-collective death that fails the whole call
+        with :class:`~repro.exceptions.WorkerDiedError`.  Returns the pool
+        index.
         """
         self._ensure_workers()
         worker = self._workers[index % self.shards]
-        worker.task_queue.put(("crash",))
+        worker.task_queue.put(("crash",) if wait else ("crash", _CRASH_GRACE_SECONDS))
         if wait:
             worker.process.join(timeout=5.0)
         return worker.index
@@ -668,10 +725,31 @@ class ProcessCollectives(Collectives):
         worker.task_queue.put(("model", token, input_dim, config_fields, state))
         worker.model_token = token
 
+    def _sync_dtype(self, worker: _ShardWorker) -> None:
+        """Re-install the call-time compute dtype on a stale worker.
+
+        The coordinator's dtype is a *scoped* policy (``precision(...)``), so
+        a pool spawned under one precision can serve calls made under another;
+        without this re-sync the worker would rebuild models and embed under
+        the spawn-time dtype and silently diverge from the serial path.  The
+        dtype message is queued ahead of any model/run message for this call
+        (private FIFO task queue), and the worker's held model token is reset
+        so the resident network is rebuilt under the new precision.
+        """
+        current = str(default_dtype())
+        if worker.dtype_name == current:
+            return
+        worker.task_queue.put(("dtype", current))
+        worker.dtype_name = current
+        worker.model_token = None
+
     # -- execution ------------------------------------------------------ #
     def run(self, kernel: str, payloads: Sequence[Any]) -> List[Any]:
         self._ensure_workers()
         get_shard_kernel(kernel)  # fail fast on typos, before any IPC
+        deadline = (
+            time.monotonic() + self._timeout if self._timeout is not None else None
+        )
         pending: Dict[int, int] = {}  # task_id -> payload position
         owners: Dict[int, _ShardWorker] = {}
         ordered: List[Any] = [None] * len(payloads)
@@ -682,6 +760,7 @@ class ProcessCollectives(Collectives):
                 # call doesn't burn its tasks just to notice.
                 self._spawn(worker.index)
                 worker = self._workers[worker.index]
+            self._sync_dtype(worker)
             self._sync_model(worker)
             self._task_counter += 1
             task_id = self._task_counter
@@ -696,6 +775,8 @@ class ProcessCollectives(Collectives):
                 died = self._reap_dead(pending, owners)
                 if died is not None and failure is None:
                     failure = died
+                if deadline is not None and pending and time.monotonic() > deadline:
+                    self._fail_stuck(kernel, pending, owners)
                 continue
             position = pending.pop(task_id, None)
             if position is None:
@@ -739,6 +820,32 @@ class ProcessCollectives(Collectives):
                 self._spawn(worker.index)
         return error
 
+    def _fail_stuck(self, kernel: str, pending, owners) -> None:
+        """Kill alive-but-wedged workers past the deadline; raise typed.
+
+        The mirror of :meth:`_reap_dead` for the hang case: every worker
+        still owning a task is terminated (a stuck process cannot be asked
+        nicely), its slot respawned so the next collective finds a healthy
+        world, and the whole call fails with :class:`~repro.exceptions
+        .ExecutorError` — a silent infinite spin is strictly worse than a
+        loud abort.
+        """
+        stuck = {id(worker): worker for worker in owners.values()}
+        for worker in stuck.values():
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            if self._workers[worker.index] is worker:
+                self._spawn(worker.index)
+        indices = sorted({worker.index for worker in stuck.values()})
+        pending.clear()
+        owners.clear()
+        raise ExecutorError(
+            f"collective {kernel!r} exceeded its {self._timeout:.3f}s deadline "
+            f"with {len(indices)} worker(s) unresponsive (shard indices "
+            f"{indices}); the stuck workers were killed and respawned"
+        )
+
 
 #: Transport name → class, for building collectives by name.
 COLLECTIVES = {
@@ -748,13 +855,18 @@ COLLECTIVES = {
 
 
 def make_collectives(
-    spec: Union[str, Collectives, None], shards: int, backend_name: str = "numpy"
+    spec: Union[str, Collectives, None],
+    shards: int,
+    backend_name: str = "numpy",
+    timeout: Optional[float] = None,
 ) -> Collectives:
     """Resolve a transport from a name, an instance or ``None``.
 
     ``None`` picks ``"process"`` outside a shard worker and ``"serial"``
     inside one (nested pools are never spawned).  A one-shard world always
-    gets the serial transport — there is nothing to parallelise.
+    gets the serial transport — there is nothing to parallelise.  ``timeout``
+    bounds each process-transport collective call (see
+    :class:`ProcessCollectives`); the serial transport ignores it.
     """
     if isinstance(spec, Collectives):
         return spec
@@ -770,5 +882,5 @@ def make_collectives(
             f"{sorted(COLLECTIVES)}"
         ) from None
     if transport is ProcessCollectives:
-        return ProcessCollectives(shards, backend_name=backend_name)
+        return ProcessCollectives(shards, backend_name=backend_name, timeout=timeout)
     return transport(shards)

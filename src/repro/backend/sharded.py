@@ -66,6 +66,11 @@ class ShardedBackend(NumpyBackend):
     min_shard_rows:
         Below this many rows ``grouped_means`` runs the inherited serial
         kernel — the IPC round trip costs more than the work.
+    timeout:
+        Optional wall-clock bound (seconds) per process-transport collective
+        call: a worker that hangs while still alive fails the call with a
+        typed :class:`~repro.exceptions.ExecutorError` instead of spinning
+        forever.  ``None`` (the default) keeps calls unbounded.
     """
 
     name = "sharded"
@@ -75,6 +80,7 @@ class ShardedBackend(NumpyBackend):
         shards: Optional[int] = None,
         collectives: Union[str, Collectives, None] = None,
         min_shard_rows: int = 2048,
+        timeout: Optional[float] = None,
     ) -> None:
         super().__init__()
         if shards is None:
@@ -83,6 +89,7 @@ class ShardedBackend(NumpyBackend):
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
         self.shards = int(shards)
         self.min_shard_rows = int(min_shard_rows)
+        self.timeout = timeout
         self._collectives_spec = collectives
         self._collectives: Optional[Collectives] = None
 
@@ -93,7 +100,9 @@ class ShardedBackend(NumpyBackend):
     def collectives(self) -> Collectives:
         """The transport, built lazily so idle backends never spawn a pool."""
         if self._collectives is None:
-            self._collectives = make_collectives(self._collectives_spec, self.shards)
+            self._collectives = make_collectives(
+                self._collectives_spec, self.shards, timeout=self.timeout
+            )
         return self._collectives
 
     @property

@@ -477,11 +477,14 @@ class PILOTE:
     def _model_token(self) -> Tuple[int, int]:
         """Staleness key for model broadcasts to the shard pool.
 
-        Identity *and* revision: a fresh model restarts nothing (new ``id``),
-        and every optimisation run bumps the revision, so the pool re-ships
-        exactly when the parameters could have changed.
+        Identity *and* revision: every network carries a process-unique
+        monotonic ``instance_id`` (never reissued, unlike ``id()`` — a freed
+        learner's address can be reused by a new model with an equal
+        revision, which would make a shared pool silently skip the
+        re-broadcast), and every optimisation run bumps the revision, so the
+        pool re-ships exactly when the parameters could have changed.
         """
-        return (id(self.model), self._model_revision)
+        return (self.model.instance_id, self._model_revision)
 
     def _select_class_exemplars(
         self, class_rows: Sequence[Tuple[int, np.ndarray]], budget: Optional[int]

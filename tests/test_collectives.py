@@ -11,6 +11,9 @@ data-parallel gradient path, and PILOTE end to end.
 
 from __future__ import annotations
 
+import multiprocessing
+import time
+
 import numpy as np
 import pytest
 
@@ -25,13 +28,31 @@ from repro.backend.collectives import (
     fixed_order_sum,
     make_collectives,
     reduce_scatter,
+    register_shard_kernel,
 )
+from repro.backend.policy import precision
 from repro.backend.registry import apply as apply_op
 from repro.backend.sharded import ShardedBackend, sharded_herding_selection
 from repro.core.config import PiloteConfig
+from repro.core.embedding import EmbeddingNetwork
 from repro.core.exemplars import herding_selection
 from repro.core.pilote import PILOTE
-from repro.exceptions import ConfigurationError, ShapeError, WorkerDiedError
+from repro.exceptions import (
+    ConfigurationError,
+    ExecutorError,
+    ShapeError,
+    WorkerDiedError,
+)
+
+
+@register_shard_kernel("test_sleep_forever")
+def _kernel_test_sleep_forever(state, payload):  # pragma: no cover - killed
+    """Test-only kernel: an alive-but-stuck worker for the deadline tests.
+
+    Registered at import time so fork-started pools inherit it; never part of
+    the production kernel set.
+    """
+    time.sleep(3600)
 
 SEEDS = (0, 1, 2)
 SHAPES = ((7,), (5, 3), (2, 3, 4))
@@ -237,6 +258,89 @@ class TestTransports:
                 process.run("not-a-kernel", [1])
         finally:
             process.close()
+
+    def test_model_tokens_never_collide_across_learner_generations(self):
+        # A shared pool keys re-broadcasts by (model identity, revision).
+        # id() values are reused after garbage collection and revisions
+        # follow identical sequences across learners running the same
+        # workload, so identity must come from the process-unique monotonic
+        # instance_id — tokens from successive short-lived learners at equal
+        # revision must all differ.
+        config = PiloteConfig(hidden_dims=(6, 4), embedding_dim=3, seed=0)
+        tokens = set()
+        for _ in range(4):
+            learner = PILOTE(config, seed=0)
+            learner.model = EmbeddingNetwork(5, config=config, rng=0)
+            tokens.add(learner._model_token())
+            del learner  # free the model so a naive id() key could be reused
+        assert len(tokens) == 4
+        model = EmbeddingNetwork(5, config=config, rng=0)
+        teacher = model.clone_frozen()
+        assert model.instance_id != teacher.instance_id
+
+    def test_process_pool_resyncs_scoped_dtype(self):
+        # The pool spawns under the ambient (float64 reference) dtype; a
+        # collective issued inside precision("edge") must re-install the
+        # call-time dtype on the workers and rebuild the resident model, so
+        # the sharded embeddings stay bit-exact with the serial path in both
+        # precision scopes — and again after leaving the scope.
+        config = PiloteConfig(hidden_dims=(8, 6), embedding_dim=4, seed=0)
+        model = EmbeddingNetwork(5, config=config, rng=0)
+        rows = np.random.default_rng(7).normal(size=(12, 5))
+        process = ProcessCollectives(2)
+        try:
+            process.broadcast_model(model, (model.instance_id, 0))
+            reference64 = model.embed(rows)
+            ((_, sharded64),) = process.run("class_embeddings", [(0, rows)])
+            assert np.array_equal(sharded64, reference64)
+            with precision("edge"):
+                reference32 = model.embed(rows)
+                ((_, sharded32),) = process.run("class_embeddings", [(0, rows)])
+            assert np.array_equal(sharded32, reference32)
+            # The scope genuinely changed the arithmetic (float32 input cast),
+            # so the equality above proves the worker followed the coordinator.
+            assert not np.array_equal(reference32, reference64)
+            ((_, again64),) = process.run("class_embeddings", [(0, rows)])
+            assert np.array_equal(again64, reference64)
+        finally:
+            process.close()
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="stuck-kernel registration needs fork inheritance",
+    )
+    def test_stuck_worker_trips_deadline_and_pool_recovers(self):
+        process = ProcessCollectives(2, timeout=0.5)
+        try:
+            start = time.monotonic()
+            with pytest.raises(ExecutorError, match="deadline"):
+                process.run("test_sleep_forever", [None])
+            assert time.monotonic() - start < 30.0  # bounded, not a spin
+            # The stuck slot was killed and respawned: the pool still serves.
+            rng = np.random.default_rng(6)
+            values = rng.normal(size=(40, 3))
+            groups = rng.integers(0, 4, size=40)
+            unique, payloads = _grouped_payloads(process, values, groups)
+            reference = SerialCollectives(2).run("grouped_partial", payloads)
+            recovered = process.run("grouped_partial", payloads)
+            for (ri, rs, rc), (pi, ps, pc) in zip(reference, recovered, strict=True):
+                assert ri == pi and np.array_equal(rs, ps) and np.array_equal(rc, pc)
+        finally:
+            process.close()
+
+    def test_timeout_validation_and_passthrough(self):
+        with pytest.raises(ConfigurationError):
+            ProcessCollectives(2, timeout=0.0)
+        built = make_collectives("process", shards=2, timeout=1.5)
+        try:
+            assert built._timeout == pytest.approx(1.5)
+        finally:
+            built.close()
+        backend = ShardedBackend(shards=2, timeout=2.0)
+        try:
+            assert backend.collectives._timeout == pytest.approx(2.0)
+        finally:
+            backend.close()
 
     def test_make_collectives_degrades_to_serial(self, monkeypatch):
         assert isinstance(make_collectives("process", shards=1), SerialCollectives)
